@@ -1,0 +1,247 @@
+// Command idpbench regenerates the tables and figures of "Intra-Disk
+// Parallelism: An Idea Whose Time Has Come" (ISCA 2008) on the simulator
+// in this repository.
+//
+// Usage:
+//
+//	idpbench [-exp all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9a|fig9b]
+//	         [-requests N] [-seed S] [-workload NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (all, table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, ablations, altpower, workloads, table9a, fig9b)")
+		requests = flag.Int("requests", experiments.DefaultConfig().Requests, "requests per workload replay")
+		seed     = flag.Int64("seed", experiments.DefaultConfig().Seed, "workload synthesis seed")
+		wl       = flag.String("workload", "", "restrict trace experiments to one workload (Financial, Websearch, TPC-C, TPC-H)")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Requests: *requests, Seed: *seed}
+
+	workloads := trace.Workloads()
+	if *wl != "" {
+		w, err := trace.WorkloadByName(*wl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		workloads = []trace.WorkloadSpec{w}
+	}
+
+	if err := run(*exp, cfg, workloads); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg experiments.Config, workloads []trace.WorkloadSpec) error {
+	all := exp == "all"
+	ran := false
+	out := os.Stdout
+
+	if all || exp == "table1" {
+		ran = true
+		experiments.WriteTable1(out)
+		fmt.Fprintln(out)
+	}
+
+	if all || exp == "fig2" || exp == "fig3" {
+		ran = true
+		for _, w := range workloads {
+			ls, err := experiments.LimitStudy(w, cfg)
+			if err != nil {
+				return err
+			}
+			if all || exp == "fig2" {
+				experiments.WriteCDFTable(out,
+					fmt.Sprintf("Figure 2 (%s): response-time CDF, MD vs HC-SD", w.Name),
+					[]experiments.Run{ls.MD, ls.HCSD})
+				fmt.Fprintln(out)
+			}
+			if all || exp == "fig3" {
+				experiments.WritePowerTable(out,
+					fmt.Sprintf("Figure 3 (%s): average power, MD vs HC-SD", w.Name),
+					[]experiments.Run{ls.MD, ls.HCSD})
+				fmt.Fprintln(out)
+			}
+		}
+	}
+
+	if all || exp == "fig4" {
+		ran = true
+		for _, w := range workloads {
+			ls, err := experiments.LimitStudy(w, cfg)
+			if err != nil {
+				return err
+			}
+			b, err := experiments.Bottleneck(w, cfg)
+			if err != nil {
+				return err
+			}
+			runs := append([]experiments.Run{ls.HCSD}, b.Cases...)
+			runs = append(runs, ls.MD)
+			experiments.WriteCDFTable(out,
+				fmt.Sprintf("Figure 4 (%s): bottleneck analysis of HC-SD", w.Name), runs)
+			fmt.Fprintln(out)
+		}
+	}
+
+	if all || exp == "fig5" {
+		ran = true
+		for _, w := range workloads {
+			ma, err := experiments.MultiActuator(w, cfg, 4)
+			if err != nil {
+				return err
+			}
+			runs := append(append([]experiments.Run{}, ma.Runs...), ma.MD)
+			experiments.WriteCDFTable(out,
+				fmt.Sprintf("Figure 5 (%s): response-time CDF, HC-SD-SA(n)", w.Name), runs)
+			experiments.WritePDFTable(out,
+				fmt.Sprintf("Figure 5 (%s): rotational-latency PDF", w.Name), ma.Runs)
+			fmt.Fprintln(out)
+		}
+	}
+
+	if all || exp == "fig6" || exp == "fig7" {
+		ran = true
+		for _, w := range workloads {
+			rr, err := experiments.ReducedRPM(w, cfg)
+			if err != nil {
+				return err
+			}
+			if all || exp == "fig6" {
+				runs := append([]experiments.Run{rr.HCSD}, rr.Runs...)
+				experiments.WritePowerTable(out,
+					fmt.Sprintf("Figure 6 (%s): average power of reduced-RPM designs", w.Name), runs)
+				fmt.Fprintln(out)
+			}
+			if all || exp == "fig7" {
+				runs := append(append([]experiments.Run{}, rr.Runs...), rr.MD)
+				experiments.WriteCDFTable(out,
+					fmt.Sprintf("Figure 7 (%s): reduced-RPM designs vs MD", w.Name), runs)
+				fmt.Fprintln(out)
+			}
+		}
+	}
+
+	if all || exp == "fig8" {
+		ran = true
+		rs, err := experiments.RAIDStudy(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteRAIDStudy(out, rs)
+		fmt.Fprintln(out)
+	}
+
+	if all || exp == "ablations" {
+		ran = true
+		for _, w := range workloads {
+			sr, err := experiments.SchedulerAblation(w, cfg)
+			if err != nil {
+				return err
+			}
+			experiments.WriteSummaryTable(out,
+				fmt.Sprintf("Ablation (%s): disk scheduler on HC-SD", w.Name), sr)
+			cr, err := experiments.CacheAblation(w, cfg)
+			if err != nil {
+				return err
+			}
+			experiments.WriteSummaryTable(out,
+				fmt.Sprintf("Ablation (%s): HC-SD cache size", w.Name), cr)
+			rr, err := experiments.RelaxedDesignAblation(w, cfg, 2)
+			if err != nil {
+				return err
+			}
+			experiments.WriteSummaryTable(out,
+				fmt.Sprintf("Ablation (%s): relaxed parallel designs", w.Name), rr)
+			spread, colocated, err := experiments.PlacementAblation(w, cfg, 4)
+			if err != nil {
+				return err
+			}
+			experiments.WriteSummaryTable(out,
+				fmt.Sprintf("Ablation (%s): angular arm placement (rot mean %.2f vs %.2f ms)",
+					w.Name, spread.RotLat.Mean(), colocated.RotLat.Mean()),
+				[]experiments.Run{spread, colocated})
+			fmt.Fprintln(out)
+		}
+	}
+
+	if all || exp == "workloads" {
+		ran = true
+		fmt.Fprintln(out, "Workload calibration: synthesized trace statistics (Table 2 shapes)")
+		for _, w := range workloads {
+			tr, err := trace.Generate(w.WithRequests(cfg.Requests), cfg.Seed)
+			if err != nil {
+				return err
+			}
+			trace.WriteStats(out, w.Name, trace.Analyze(tr))
+		}
+		fmt.Fprintln(out)
+	}
+
+	if all || exp == "altpower" {
+		ran = true
+		for _, w := range workloads {
+			ap, err := experiments.AltPower(w, cfg)
+			if err != nil {
+				return err
+			}
+			experiments.WriteSummaryTable(out,
+				fmt.Sprintf("Alternative power knobs (%s): DRPM vs reduced-RPM intra-disk parallelism", w.Name),
+				[]experiments.Run{ap.HCSD, ap.DRPM, ap.SA4Low})
+			fmt.Fprintln(out)
+		}
+	}
+
+	if all || exp == "table9a" {
+		ran = true
+		fmt.Fprintln(out, "Table 9a: estimated component and drive material costs (USD)")
+		prices := cost.UnitPrices()
+		fmt.Fprintf(out, "%-18s %12s\n", "component", "unit price")
+		for _, c := range cost.Components() {
+			p := prices[c]
+			fmt.Fprintf(out, "%-18s %5.2f-%5.2f\n", c, p.Low, p.High)
+		}
+		for _, a := range []int{1, 2, 4} {
+			r, err := cost.DriveCost(4, a)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%d-actuator drive: %.1f-%.1f\n", a, r.Low, r.High)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if all || exp == "fig9b" {
+		ran = true
+		fmt.Fprintln(out, "Figure 9b: iso-performance cost comparison")
+		costs, err := cost.IsoPerformanceCosts()
+		if err != nil {
+			return err
+		}
+		configs := cost.IsoPerformanceConfigs()
+		base := costs[0].Mid()
+		for i, c := range configs {
+			r := costs[i]
+			fmt.Fprintf(out, "  %-28s %.1f-%.1f (mid %.1f, %+.0f%% vs conventional)\n",
+				c.Label, r.Low, r.High, r.Mid(), 100*(r.Mid()-base)/base)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Command idpsim runs one workload against one storage configuration and
+// prints the response-time distribution and power breakdown.
+//
+// Usage:
+//
+//	idpsim -workload Websearch -system sa4 [-requests N] [-seed S] [-rpm R]
+//	idpsim -trace file.trc -system hcsd
+//
+// Systems:
+//
+//	md     the workload's original multi-disk array (Table 2)
+//	hcsd   the single 750 GB high-capacity drive
+//	saN    the intra-disk parallel drive HC-SD-SA(N), e.g. sa2, sa4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/experiments"
+	"repro/internal/simkit"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "Websearch", "workload name (Financial, Websearch, TPC-C, TPC-H)")
+		traceFile = flag.String("trace", "", "replay a trace file instead of synthesizing a workload")
+		system    = flag.String("system", "hcsd", "storage system: md, hcsd, or saN (e.g. sa4)")
+		requests  = flag.Int("requests", 100000, "requests to synthesize")
+		seed      = flag.Int64("seed", 1, "workload synthesis seed")
+		rpm       = flag.Float64("rpm", 0, "override drive RPM (reduced-RPM designs)")
+	)
+	flag.Parse()
+	if err := run(*wl, *traceFile, *system, *requests, *seed, *rpm); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, traceFile, system string, requests int, seed int64, rpm float64) error {
+	spec, err := trace.WorkloadByName(wl)
+	if err != nil {
+		return err
+	}
+
+	var tr trace.Trace
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if tr, err = trace.Read(f); err != nil {
+			return err
+		}
+	} else {
+		if tr, err = trace.Generate(spec.WithRequests(requests), seed); err != nil {
+			return err
+		}
+	}
+
+	eng := simkit.New()
+	label := system
+	var resp *stats.Sample
+	var powerOf func(elapsed float64) string
+
+	switch {
+	case system == "md":
+		md, err := experiments.NewMDSystem(eng, spec)
+		if err != nil {
+			return err
+		}
+		resp = experiments.Replay(eng, md.Router, tr)
+		powerOf = func(e float64) string {
+			return experiments.WriteBreakdownBar(md.Router.Power(e))
+		}
+		label = fmt.Sprintf("MD (%d x %s)", spec.Disks, mustModelName(spec))
+
+	case system == "hcsd":
+		model := hcsdModel(rpm)
+		d, err := disk.New(eng, model, disk.Options{})
+		if err != nil {
+			return err
+		}
+		if tr, err = experiments.HCSDTrace(spec, tr); err != nil {
+			return err
+		}
+		resp = experiments.Replay(eng, d, tr)
+		powerOf = func(e float64) string { return experiments.WriteBreakdownBar(d.Power(e)) }
+		label = model.Name
+
+	case strings.HasPrefix(system, "sa"):
+		n, err := strconv.Atoi(strings.TrimPrefix(system, "sa"))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad system %q: want saN with N >= 1", system)
+		}
+		model := hcsdModel(rpm)
+		d, err := core.NewSA(eng, model, n)
+		if err != nil {
+			return err
+		}
+		if tr, err = experiments.HCSDTrace(spec, tr); err != nil {
+			return err
+		}
+		resp = experiments.Replay(eng, d, tr)
+		powerOf = func(e float64) string { return experiments.WriteBreakdownBar(d.Power(e)) }
+		label = fmt.Sprintf("HC-SD-SA(%d) on %s", n, model.Name)
+
+	default:
+		return fmt.Errorf("unknown system %q", system)
+	}
+
+	elapsed := eng.Now()
+	fmt.Printf("workload: %s (%d requests, %.1f s simulated)\n", spec.Name, resp.Count(), elapsed/1000)
+	fmt.Printf("system:   %s\n", label)
+	fmt.Printf("response: %s\n", resp.Summarize())
+	fmt.Printf("CDF:      %s\n", stats.FormatCDFRow(stats.ResponseBucketEdgesMs, resp.ResponseCDF()))
+	fmt.Printf("power:    %s\n", powerOf(elapsed))
+	return nil
+}
+
+func hcsdModel(rpm float64) disk.Model {
+	model := disk.BarracudaES()
+	if rpm > 0 {
+		model = model.WithRPM(rpm)
+	}
+	return model
+}
+
+func mustModelName(spec trace.WorkloadSpec) string {
+	m, err := experiments.MDDriveModel(spec)
+	if err != nil {
+		return "?"
+	}
+	return m.Name
+}

@@ -1,0 +1,91 @@
+// Command idpsweep sweeps the intra-disk parallel design space —
+// actuator count × spindle speed — for one workload and emits a CSV of
+// performance, power, thermal and cost figures per design point. This is
+// the exploration loop a drive architect would run on top of the library.
+//
+// Usage:
+//
+//	idpsweep -workload Websearch -requests 60000 > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "Websearch", "workload name")
+		requests = flag.Int("requests", 60000, "requests per design point")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		armsFlag = flag.String("actuators", "1,2,3,4", "comma-separated actuator counts")
+		rpmsFlag = flag.String("rpms", "7200,6200,5200,4200", "comma-separated spindle speeds")
+	)
+	flag.Parse()
+	if err := run(*wl, *requests, *seed, *armsFlag, *rpmsFlag); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(wl string, requests int, seed int64, armsFlag, rpmsFlag string) error {
+	spec, err := trace.WorkloadByName(wl)
+	if err != nil {
+		return err
+	}
+	arms, err := parseInts(armsFlag)
+	if err != nil {
+		return err
+	}
+	rpms, err := parseInts(rpmsFlag)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Config{Requests: requests, Seed: seed}
+	env := thermal.Default()
+
+	fmt.Println("actuators,rpm,mean_ms,p90_ms,p99_ms,avg_power_w,peak_power_w,temp_c,in_envelope,cost_low_usd,cost_high_usd")
+	for _, a := range arms {
+		for _, rpm := range rpms {
+			r, err := experiments.SARun(spec, cfg, a, float64(rpm))
+			if err != nil {
+				return err
+			}
+			// Thermal: evaluate the design's peak power.
+			pm, err := experiments.SAPowerModel(a, float64(rpm))
+			if err != nil {
+				return err
+			}
+			temp, ok := env.CheckModel(pm)
+			c, err := cost.DriveCost(4, a)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.1f,%v,%.1f,%.1f\n",
+				a, rpm,
+				r.Resp.Mean(), r.Resp.Percentile(90), r.Resp.Percentile(99),
+				r.Power.Total(), pm.PeakPower(), temp, ok, c.Low, c.High)
+		}
+	}
+	return nil
+}

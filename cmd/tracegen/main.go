@@ -1,0 +1,86 @@
+// Command tracegen synthesizes workload traces in the repository's text
+// trace format and writes them to stdout or a file.
+//
+// Usage:
+//
+//	tracegen -workload Financial -requests 100000 -seed 1 > fin.trc
+//	tracegen -synthetic 4ms -capacity 1465000000 -requests 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "", "commercial workload name (Financial, Websearch, TPC-C, TPC-H)")
+		synthetic = flag.String("synthetic", "", "synthetic intensity: 8ms, 4ms, or 1ms (§7.3 workloads)")
+		capacity  = flag.Int64("capacity", 1465000000, "logical capacity in sectors for synthetic streams")
+		requests  = flag.Int("requests", 100000, "number of requests")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*wl, *synthetic, *capacity, *requests, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, synthetic string, capacity int64, requests int, seed int64, out string) error {
+	if (wl == "") == (synthetic == "") {
+		return fmt.Errorf("specify exactly one of -workload or -synthetic")
+	}
+
+	var tr trace.Trace
+	var err error
+	var comment string
+	if wl != "" {
+		spec, err2 := trace.WorkloadByName(wl)
+		if err2 != nil {
+			return err2
+		}
+		tr, err = trace.Generate(spec.WithRequests(requests), seed)
+		comment = fmt.Sprintf("# workload=%s requests=%d seed=%d disks=%d\n",
+			spec.Name, requests, seed, spec.Disks)
+	} else {
+		var in workload.Intensity
+		switch synthetic {
+		case "8ms":
+			in = workload.Light
+		case "4ms":
+			in = workload.Moderate
+		case "1ms":
+			in = workload.Heavy
+		default:
+			return fmt.Errorf("unknown intensity %q (want 8ms, 4ms, 1ms)", synthetic)
+		}
+		spec := workload.Paper(in, capacity).WithRequests(requests)
+		tr, err = workload.Generate(spec, seed)
+		comment = fmt.Sprintf("# synthetic=%s capacity=%d requests=%d seed=%d\n",
+			synthetic, capacity, requests, seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := io.WriteString(w, comment); err != nil {
+		return err
+	}
+	return trace.Write(w, tr)
+}

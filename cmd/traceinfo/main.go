@@ -1,0 +1,68 @@
+// Command traceinfo characterizes a trace: either a file in the text
+// trace format or a synthesized workload. It prints the statistical
+// shape (arrival intensity and burstiness, mix, sizes, sequentiality,
+// locality) that determines how the trace behaves on the simulator.
+//
+// Usage:
+//
+//	traceinfo -trace fin.trc
+//	traceinfo -workload Financial -requests 100000 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		file     = flag.String("trace", "", "trace file to analyze")
+		wl       = flag.String("workload", "", "synthesize and analyze a named workload instead")
+		requests = flag.Int("requests", 100000, "requests to synthesize")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if err := run(*file, *wl, *requests, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(file, wl string, requests int, seed int64) error {
+	if (file == "") == (wl == "") {
+		return fmt.Errorf("specify exactly one of -trace or -workload")
+	}
+	var tr trace.Trace
+	var label string
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if tr, err = trace.Read(f); err != nil {
+			return err
+		}
+		label = file
+	} else {
+		spec, err := trace.WorkloadByName(wl)
+		if err != nil {
+			return err
+		}
+		if tr, err = trace.Generate(spec.WithRequests(requests), seed); err != nil {
+			return err
+		}
+		label = fmt.Sprintf("%s (synthesized, seed %d)", spec.Name, seed)
+	}
+
+	trace.WriteStats(os.Stdout, label, trace.Analyze(tr))
+	ps, err := trace.InterArrivalPercentiles(tr, []float64{50, 90, 99})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  inter-arrival p50/p90/p99: %.3f / %.3f / %.3f ms\n", ps[0], ps[1], ps[2])
+	return nil
+}

@@ -1,0 +1,57 @@
+// Limitstudy reproduces the paper's §7.1 migration experiment for one
+// workload: replace the tuned multi-disk array (MD) with a single
+// high-capacity drive (HC-SD) and measure the performance loss and the
+// power savings, then bridge the gap with intra-disk parallelism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	wl := flag.String("workload", "Websearch", "Financial, Websearch, TPC-C or TPC-H")
+	requests := flag.Int("requests", 60000, "requests to replay")
+	flag.Parse()
+
+	var spec repro.WorkloadSpec
+	found := false
+	for _, w := range repro.Workloads() {
+		if w.Name == *wl {
+			spec, found = w, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+
+	cfg := repro.ExperimentConfig{Requests: *requests, Seed: 1}
+	ls, err := repro.RunLimitStudy(spec, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("=== %s: MD (%d disks) vs HC-SD (1 drive) ===\n", spec.Name, spec.Disks)
+	fmt.Printf("MD     response: %s\n", ls.MD.Resp.Summarize())
+	fmt.Printf("HC-SD  response: %s\n", ls.HCSD.Resp.Summarize())
+	fmt.Printf("MD     power: %6.1f W\n", ls.MD.Power.Total())
+	fmt.Printf("HC-SD  power: %6.1f W  (%.1fx lower)\n",
+		ls.HCSD.Power.Total(), ls.MD.Power.Total()/ls.HCSD.Power.Total())
+
+	// Bridge the gap with intra-disk parallelism.
+	fmt.Println("\n=== bridging the gap with HC-SD-SA(n) ===")
+	ma, err := repro.RunMultiActuator(spec, cfg, 4)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range ma.Runs {
+		fmt.Printf("%-12s mean=%6.2f ms  p90=%6.2f ms  power=%5.1f W\n",
+			r.Label, r.Resp.Mean(), r.Resp.Percentile(90), r.Power.Total())
+	}
+	fmt.Printf("%-12s mean=%6.2f ms  p90=%6.2f ms  power=%5.1f W\n",
+		"MD", ma.MD.Resp.Mean(), ma.MD.Resp.Percentile(90), ma.MD.Power.Total())
+}

@@ -1,0 +1,52 @@
+// Lowrpm explores the paper's §7.2 reduced-RPM design space: spindle
+// speed has a near-cubic effect on power, and extra actuators can buy
+// back the rotational latency a slower spindle costs. The example sweeps
+// (actuators × RPM) for one workload and prints the frontier.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	wl := flag.String("workload", "TPC-C", "Financial, Websearch, TPC-C or TPC-H")
+	requests := flag.Int("requests", 40000, "requests to replay")
+	flag.Parse()
+
+	var spec repro.WorkloadSpec
+	found := false
+	for _, w := range repro.Workloads() {
+		if w.Name == *wl {
+			spec, found = w, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+
+	cfg := repro.ExperimentConfig{Requests: *requests, Seed: 1}
+	rr, err := repro.RunReducedRPM(spec, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("=== %s: reduced-RPM intra-disk parallel designs ===\n", spec.Name)
+	fmt.Printf("%-14s %10s %10s %10s\n", "design", "mean (ms)", "p90 (ms)", "power (W)")
+	fmt.Printf("%-14s %10.2f %10.2f %10.1f\n", "MD",
+		rr.MD.Resp.Mean(), rr.MD.Resp.Percentile(90), rr.MD.Power.Total())
+	fmt.Printf("%-14s %10.2f %10.2f %10.1f\n", "HC-SD",
+		rr.HCSD.Resp.Mean(), rr.HCSD.Resp.Percentile(90), rr.HCSD.Power.Total())
+	for _, r := range rr.Runs {
+		marker := ""
+		if r.Resp.Percentile(90) <= rr.MD.Resp.Percentile(90)*1.10 {
+			marker = "  <= matches MD"
+		}
+		fmt.Printf("%-14s %10.2f %10.2f %10.1f%s\n", r.Label,
+			r.Resp.Mean(), r.Resp.Percentile(90), r.Power.Total(), marker)
+	}
+}

@@ -1,0 +1,120 @@
+// Package bus models a shared storage interconnect with finite
+// bandwidth — a SCSI/FC bus or an array controller's aggregate link.
+// The paper assumes the intra-drive data channel is never the
+// bottleneck (§4); this package lets array-level experiments check the
+// analogous assumption *outside* the drive: attach members to a Bus and
+// each completed media transfer must also win the bus before the host
+// sees the completion.
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/simkit"
+	"repro/internal/trace"
+)
+
+// Bus is a FIFO-arbitrated shared link.
+type Bus struct {
+	eng         *simkit.Engine
+	bytesPerMs  float64
+	overheadMs  float64
+	busyUntilMs float64
+
+	transfers uint64
+	busyMs    float64
+}
+
+// New builds a bus with the given bandwidth (MB/s) and per-transfer
+// arbitration overhead (ms).
+func New(eng *simkit.Engine, bandwidthMBps, overheadMs float64) (*Bus, error) {
+	if bandwidthMBps <= 0 {
+		return nil, fmt.Errorf("bus: bandwidth %v must be positive", bandwidthMBps)
+	}
+	if overheadMs < 0 {
+		return nil, fmt.Errorf("bus: overhead %v must be nonnegative", overheadMs)
+	}
+	return &Bus{eng: eng, bytesPerMs: bandwidthMBps * 1e6 / 1000, overheadMs: overheadMs}, nil
+}
+
+// TransferMs reports the wire time of a payload.
+func (b *Bus) TransferMs(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / b.bytesPerMs
+}
+
+// Acquire reserves the bus for a payload, FIFO behind any transfers
+// already reserved, and invokes done when the transfer finishes.
+func (b *Bus) Acquire(bytes int64, done func(at float64)) {
+	now := b.eng.Now()
+	start := now
+	if b.busyUntilMs > start {
+		start = b.busyUntilMs
+	}
+	dur := b.overheadMs + b.TransferMs(bytes)
+	end := start + dur
+	b.busyUntilMs = end
+	b.transfers++
+	b.busyMs += dur
+	b.eng.At(end, func() {
+		if done != nil {
+			done(b.eng.Now())
+		}
+	})
+}
+
+// Transfers reports how many transfers the bus has carried or reserved.
+func (b *Bus) Transfers() uint64 { return b.transfers }
+
+// Utilization reports the fraction of elapsed wall time the bus was busy.
+func (b *Bus) Utilization(elapsedMs float64) float64 {
+	if elapsedMs <= 0 {
+		return 0
+	}
+	u := b.busyMs / elapsedMs
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Attached wraps a device so every completion also crosses the bus.
+type Attached struct {
+	dev         device.Device
+	bus         *Bus
+	sectorBytes int
+}
+
+var _ device.Device = (*Attached)(nil)
+
+// Attach binds a device to the bus.
+func Attach(dev device.Device, b *Bus, sectorBytes int) (*Attached, error) {
+	if dev == nil || b == nil {
+		return nil, fmt.Errorf("bus: nil device or bus")
+	}
+	if sectorBytes <= 0 {
+		return nil, fmt.Errorf("bus: sector size %d must be positive", sectorBytes)
+	}
+	return &Attached{dev: dev, bus: b, sectorBytes: sectorBytes}, nil
+}
+
+// Submit forwards the request; its completion is delayed by the bus
+// transfer of the request's payload.
+func (a *Attached) Submit(r trace.Request, done device.Done) {
+	bytes := int64(r.Sectors) * int64(a.sectorBytes)
+	a.dev.Submit(r, func(float64) {
+		a.bus.Acquire(bytes, done)
+	})
+}
+
+// Power passes through to the wrapped device.
+func (a *Attached) Power(elapsedMs float64) power.Breakdown {
+	return a.dev.Power(elapsedMs)
+}
+
+// Capacity passes through to the wrapped device.
+func (a *Attached) Capacity() int64 { return a.dev.Capacity() }

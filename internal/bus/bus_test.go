@@ -1,0 +1,150 @@
+package bus
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/simkit"
+	"repro/internal/trace"
+)
+
+// instantDev completes every request immediately.
+type instantDev struct{ eng *simkit.Engine }
+
+var _ device.Device = (*instantDev)(nil)
+
+func (d *instantDev) Submit(r trace.Request, done device.Done) {
+	d.eng.After(0, func() {
+		if done != nil {
+			done(d.eng.Now())
+		}
+	})
+}
+func (d *instantDev) Power(elapsedMs float64) power.Breakdown { return power.Breakdown{} }
+func (d *instantDev) Capacity() int64                         { return 1 << 40 }
+
+func TestNewValidation(t *testing.T) {
+	eng := simkit.New()
+	if _, err := New(eng, 0, 0); err == nil {
+		t.Fatalf("zero bandwidth accepted")
+	}
+	if _, err := New(eng, 100, -1); err == nil {
+		t.Fatalf("negative overhead accepted")
+	}
+}
+
+func TestTransferMs(t *testing.T) {
+	eng := simkit.New()
+	b, err := New(eng, 100, 0) // 100 MB/s = 100_000 bytes/ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.TransferMs(100000); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("TransferMs(100KB) = %v, want 1", got)
+	}
+	if b.TransferMs(0) != 0 || b.TransferMs(-5) != 0 {
+		t.Fatalf("degenerate payloads not free")
+	}
+}
+
+func TestAcquireSerializes(t *testing.T) {
+	eng := simkit.New()
+	b, _ := New(eng, 100, 0.1)
+	var first, second float64
+	eng.At(0, func() {
+		b.Acquire(100000, func(at float64) { first = at })  // 0.1 + 1.0
+		b.Acquire(100000, func(at float64) { second = at }) // queued behind
+	})
+	eng.Run()
+	if math.Abs(first-1.1) > 1e-9 {
+		t.Fatalf("first transfer at %v, want 1.1", first)
+	}
+	if math.Abs(second-2.2) > 1e-9 {
+		t.Fatalf("second transfer at %v, want 2.2 (FIFO)", second)
+	}
+	if b.Transfers() != 2 {
+		t.Fatalf("Transfers = %d", b.Transfers())
+	}
+}
+
+func TestBusIdleGapNotCounted(t *testing.T) {
+	eng := simkit.New()
+	b, _ := New(eng, 100, 0)
+	eng.At(0, func() { b.Acquire(100000, nil) })  // busy 0..1
+	eng.At(10, func() { b.Acquire(100000, nil) }) // busy 10..11
+	eng.Run()
+	if got := b.Utilization(11); math.Abs(got-2.0/11) > 1e-9 {
+		t.Fatalf("utilization %v, want 2/11", got)
+	}
+	if b.Utilization(0) != 0 {
+		t.Fatalf("zero-elapsed utilization nonzero")
+	}
+}
+
+func TestAttachDelaysCompletions(t *testing.T) {
+	eng := simkit.New()
+	b, _ := New(eng, 100, 0) // 100 bytes/us => 8KB = 0.08192 ms... use math
+	dev := &instantDev{eng: eng}
+	a, err := Attach(dev, b, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt float64
+	eng.At(0, func() {
+		a.Submit(trace.Request{LBA: 0, Sectors: 200, Read: true},
+			func(at float64) { doneAt = at })
+	})
+	eng.Run()
+	want := b.TransferMs(200 * 512)
+	if math.Abs(doneAt-want) > 1e-9 {
+		t.Fatalf("completion at %v, want bus time %v", doneAt, want)
+	}
+	if a.Capacity() != dev.Capacity() {
+		t.Fatalf("capacity not passed through")
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	eng := simkit.New()
+	b, _ := New(eng, 100, 0)
+	if _, err := Attach(nil, b, 512); err == nil {
+		t.Fatalf("nil device accepted")
+	}
+	if _, err := Attach(&instantDev{eng: eng}, nil, 512); err == nil {
+		t.Fatalf("nil bus accepted")
+	}
+	if _, err := Attach(&instantDev{eng: eng}, b, 0); err == nil {
+		t.Fatalf("zero sector size accepted")
+	}
+}
+
+// A narrow bus becomes the bottleneck for many fast members; a wide bus
+// does not — the array-level version of the paper's §4 channel
+// assumption.
+func TestSharedBusBottleneck(t *testing.T) {
+	run := func(mbps float64) float64 {
+		eng := simkit.New()
+		b, _ := New(eng, mbps, 0.01)
+		var last float64
+		for m := 0; m < 4; m++ {
+			dev := &instantDev{eng: eng}
+			att, err := Attach(dev, b, 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 25; i++ {
+				att.Submit(trace.Request{LBA: int64(i), Sectors: 128, Read: true},
+					func(at float64) { last = at })
+			}
+		}
+		eng.Run()
+		return last
+	}
+	narrow := run(10)  // 10 MB/s
+	wide := run(10000) // 10 GB/s
+	if narrow <= wide*10 {
+		t.Fatalf("narrow bus finish %v not much later than wide bus %v", narrow, wide)
+	}
+}

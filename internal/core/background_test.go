@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Background (freeblock-class) request tests: §5 of the paper argues
+// intra-disk parallelism subsumes freeblock scheduling by servicing
+// background work with independent hardware.
+
+func TestBackgroundRequestsComplete(t *testing.T) {
+	eng, d := newSA(t, 2)
+	done := 0
+	eng.At(0, func() {
+		for i := 0; i < 20; i++ {
+			lba := int64(i) * 100000
+			d.SubmitBackground(trace.Request{LBA: lba, Sectors: 8, Read: true},
+				func(float64) { done++ })
+		}
+	})
+	eng.Run()
+	if done != 20 {
+		t.Fatalf("completed %d of 20 background requests", done)
+	}
+	if d.BackgroundCompleted() != 20 {
+		t.Fatalf("BackgroundCompleted = %d", d.BackgroundCompleted())
+	}
+	if d.BackgroundPending() != 0 {
+		t.Fatalf("BackgroundPending = %d", d.BackgroundPending())
+	}
+}
+
+func TestBackgroundYieldsToForeground(t *testing.T) {
+	// A foreground request arriving while background work is queued must
+	// be serviced before the remaining background requests.
+	eng, d := newSA(t, 1)
+	var fgDone, bgLast float64
+	eng.At(0, func() {
+		for i := 0; i < 10; i++ {
+			lba := int64(i) * 200000
+			d.SubmitBackground(trace.Request{LBA: lba, Sectors: 8, Read: false},
+				func(at float64) { bgLast = at })
+		}
+		d.Submit(trace.Request{LBA: 42, Sectors: 8, Read: false},
+			func(at float64) { fgDone = at })
+	})
+	eng.Run()
+	if fgDone <= 0 || bgLast <= 0 {
+		t.Fatalf("requests did not complete: fg=%v bg=%v", fgDone, bgLast)
+	}
+	if fgDone >= bgLast {
+		t.Fatalf("foreground (%.2f) finished after all background (%.2f)", fgDone, bgLast)
+	}
+}
+
+func TestBackgroundDoesNotDegradeForeground(t *testing.T) {
+	run := func(withBackground bool) float64 {
+		eng, d := newSA(t, 2)
+		tr := randomTrace(61, 400, 12, d.Capacity())
+		if withBackground {
+			// A scrub-like background sweep submitted up front.
+			rng := rand.New(rand.NewSource(62))
+			eng.At(0, func() {
+				for i := 0; i < 200; i++ {
+					lba := rng.Int63n(d.Capacity() - 64)
+					d.SubmitBackground(trace.Request{LBA: lba, Sectors: 8, Read: true}, nil)
+				}
+			})
+		}
+		resp := replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+		return mean(resp)
+	}
+	without := run(false)
+	with := run(true)
+	// Foreground dispatch is strictly prioritized; the only interference
+	// is a background service already in flight when foreground work
+	// arrives (at most one service time).
+	if with > without*1.5 {
+		t.Fatalf("background load inflated foreground mean %.2f -> %.2f", without, with)
+	}
+}
+
+func TestBackgroundCacheHitPath(t *testing.T) {
+	eng, d := newSA(t, 2)
+	hits := 0
+	eng.At(0, func() {
+		d.Submit(trace.Request{LBA: 1000, Sectors: 8, Read: true}, func(float64) {
+			d.SubmitBackground(trace.Request{LBA: 1000, Sectors: 8, Read: true},
+				func(float64) { hits++ })
+		})
+	})
+	eng.Run()
+	if hits != 1 {
+		t.Fatalf("background cache-hit request did not complete")
+	}
+	if d.CacheHits() != 1 {
+		t.Fatalf("CacheHits = %d", d.CacheHits())
+	}
+}
+
+func TestBackgroundBeyondCapacityPanics(t *testing.T) {
+	eng, d := newSA(t, 2)
+	eng.At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("out-of-range background request did not panic")
+			}
+		}()
+		d.SubmitBackground(trace.Request{LBA: d.Capacity(), Sectors: 1, Read: true}, nil)
+	})
+	eng.Run()
+}

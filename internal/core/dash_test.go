@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConventionalDASH(t *testing.T) {
+	c := Conventional()
+	if c.String() != "D1A1S1H1" {
+		t.Fatalf("Conventional = %s", c)
+	}
+	if !c.IsConventional() {
+		t.Fatalf("Conventional not recognized as conventional")
+	}
+	if c.DataPaths() != 1 {
+		t.Fatalf("conventional data paths %d, want 1", c.DataPaths())
+	}
+}
+
+func TestSAFamily(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		d := SA(n)
+		if d.A != n || d.D != 1 || d.S != 1 || d.H != 1 {
+			t.Fatalf("SA(%d) = %s", n, d)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("SA(%d) invalid: %v", n, err)
+		}
+		if d.DataPaths() != n {
+			t.Fatalf("SA(%d) data paths %d", n, d.DataPaths())
+		}
+	}
+	if SA(2).IsConventional() {
+		t.Fatalf("SA(2) reported conventional")
+	}
+}
+
+func TestPaperFigureOneExamples(t *testing.T) {
+	// Figure 1(a): D1A2S1H1 — two data paths.
+	a, err := ParseDASH("D1A2S1H1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DataPaths() != 2 {
+		t.Fatalf("D1A2S1H1 paths %d, want 2", a.DataPaths())
+	}
+	// Figure 1(b): D1A2S1H2 — four data paths.
+	b, err := ParseDASH("D1A2S1H2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DataPaths() != 4 {
+		t.Fatalf("D1A2S1H2 paths %d, want 4", b.DataPaths())
+	}
+}
+
+func TestParseDASHRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"", "D1A2", "d1a2s1h1", "D1A2S1H1X", "DxAySzHw",
+		"D0A1S1H1", "D1A0S1H1", "D1A1S0H1", "D1A1S1H0",
+		"D1A1S3H1", // more surface parallelism than a platter has surfaces
+	}
+	for _, s := range bad {
+		if _, err := ParseDASH(s); err == nil {
+			t.Errorf("ParseDASH(%q) accepted", s)
+		}
+	}
+}
+
+func TestValidateRejectsNonPositive(t *testing.T) {
+	bad := []DASH{
+		{D: 0, A: 1, S: 1, H: 1},
+		{D: 1, A: -1, S: 1, H: 1},
+		{D: 1, A: 1, S: 0, H: 1},
+		{D: 1, A: 1, S: 1, H: 0},
+		{D: 1, A: 1, S: 3, H: 1},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("Validate accepted %s", d)
+		}
+	}
+}
+
+// Property: String/Parse round-trips for all valid configurations.
+func TestPropertyDASHRoundTrip(t *testing.T) {
+	f := func(dRaw, aRaw, sRaw, hRaw uint8) bool {
+		d := DASH{
+			D: 1 + int(dRaw)%8,
+			A: 1 + int(aRaw)%8,
+			S: 1 + int(sRaw)%2,
+			H: 1 + int(hRaw)%8,
+		}
+		got, err := ParseDASH(d.String())
+		return err == nil && got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,747 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/device"
+	"repro/internal/disk"
+	"repro/internal/geom"
+	"repro/internal/mech"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/simkit"
+	"repro/internal/trace"
+)
+
+// Config describes an intra-disk parallel drive: a base drive model
+// extended with extra arm assemblies and, optionally, the relaxed
+// parallelism variants from the paper's technical report.
+type Config struct {
+	// Actuators is the number of independent arm assemblies (n in
+	// HC-SD-SA(n)). 1 yields a conventional drive.
+	Actuators int
+	// Sched overrides the dispatch queue configuration (default: the
+	// paper's SPTF, via disk.DefaultSchedConfig).
+	Sched *sched.Config
+	// SeekScale and RotScale follow disk.Options semantics (Figure 4
+	// limit-study knobs). Zero means 1.0; disk.ZeroedScale means 0.
+	SeekScale, RotScale float64
+	// OnService observes the mechanical components of each media access.
+	OnService func(seekMs, rotMs, xferMs float64)
+
+	// MultiArmMotion relaxes the single-arm-in-motion constraint: while
+	// the channel is busy, idle arms pre-seek toward queued requests
+	// (first relaxed design of the paper's §7.2; the paper found little
+	// benefit). Power for overlapped motion is charged as VCM increments.
+	MultiArmMotion bool
+	// Channels relaxes the single-transfer-path constraint: up to this
+	// many requests may be in service concurrently, each on its own arm
+	// (second relaxed design). Zero means 1.
+	Channels int
+
+	// HeadsPerArm puts h heads on each arm, mounted equidistant from
+	// the actuation axis at spread angular positions (the paper's
+	// Figure 1(b), the H dimension of the taxonomy). All heads ride the
+	// same arm, so seeks are shared; the rotational latency of an access
+	// is the wait until the sector reaches the *nearest* head. Zero
+	// means 1.
+	HeadsPerArm int
+
+	// IdleReturn lets an idle arm reposition toward the most recently
+	// serviced cylinder once it has drifted far from the action (an
+	// extension: real multi-actuator firmware parks idle heads near the
+	// active band). Repositioning motion overlaps other activity, so it
+	// slightly relaxes the single-arm-in-motion constraint; its energy
+	// is charged as a VCM increment.
+	IdleReturn bool
+
+	// InitialCyls optionally places each arm at a starting cylinder.
+	// By default every arm starts at cylinder 0 and spreads through use:
+	// dispatch parks each arm where it last serviced, which keeps all
+	// arms inside the workload's active region. (Spreading arms evenly
+	// across the stroke strands the far arms when the footprint is
+	// concentrated: a long seek always loses the dispatch cost race to
+	// simply waiting out the rotation on a nearer arm.)
+	InitialCyls []int
+
+	// AngularOffsets optionally sets each arm assembly's angular
+	// mounting position around the platter stack, as a fraction of a
+	// revolution in [0,1). The paper's Figure 1 mounts assemblies
+	// diagonally from each other; this placement is what shortens
+	// rotational latency — a sector reaches the nearest arm in a
+	// fraction of a revolution. The default spreads arms evenly
+	// (arm i at i/n of a revolution).
+	AngularOffsets []float64
+}
+
+func (c Config) channels() int {
+	if c.Channels <= 0 {
+		return 1
+	}
+	return c.Channels
+}
+
+func (c Config) headsPerArm() int {
+	if c.HeadsPerArm <= 0 {
+		return 1
+	}
+	return c.HeadsPerArm
+}
+
+// Validate reports the first problem with the config, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Actuators <= 0:
+		return fmt.Errorf("core: Actuators %d must be positive", c.Actuators)
+	case c.Channels < 0:
+		return fmt.Errorf("core: Channels %d must be nonnegative", c.Channels)
+	case c.HeadsPerArm < 0:
+		return fmt.Errorf("core: HeadsPerArm %d must be nonnegative", c.HeadsPerArm)
+	case c.channels() > c.Actuators:
+		return fmt.Errorf("core: %d channels exceed %d actuators", c.channels(), c.Actuators)
+	case c.InitialCyls != nil && len(c.InitialCyls) != c.Actuators:
+		return fmt.Errorf("core: %d initial cylinders for %d actuators",
+			len(c.InitialCyls), c.Actuators)
+	case c.AngularOffsets != nil && len(c.AngularOffsets) != c.Actuators:
+		return fmt.Errorf("core: %d angular offsets for %d actuators",
+			len(c.AngularOffsets), c.Actuators)
+	}
+	for _, a := range c.AngularOffsets {
+		if a < 0 || a >= 1 {
+			return fmt.Errorf("core: angular offset %v outside [0,1)", a)
+		}
+	}
+	return nil
+}
+
+type pending struct {
+	req        trace.Request
+	done       device.Done
+	loc        geom.Loc // physical location of the first block, cached at submit
+	background bool     // background-class request (SubmitBackground)
+}
+
+type arm struct {
+	cyl    int
+	alpha  float64 // angular mounting position, fraction of a revolution
+	failed bool
+	busy   bool // servicing a request (holds a channel)
+
+	// Pre-seek assignment state (MultiArmMotion only).
+	assigned   *pending
+	seekDoneAt float64
+
+	serviced uint64
+}
+
+// ParallelDrive is an intra-disk parallel drive: a single spindle and
+// platter stack accessed by several independently positioned arm
+// assemblies. In the paper's base HC-SD-SA(n) design only one arm may be
+// in motion and only one head may transfer at a time, so service remains
+// serialized; the benefit is that the SPTF scheduler dispatches whichever
+// idle arm minimizes the positioning time of the chosen request.
+type ParallelDrive struct {
+	model disk.Model
+	cfg   Config
+	eng   *simkit.Engine
+	geo   *geom.Geometry
+	curve *mech.SeekCurve
+	rot   *mech.Rotation
+	buf   *cache.Cache
+	queue *sched.Queue[pending]
+	acct  *power.Accountant
+	pm    *power.Model
+
+	arms           []arm
+	activeChannels int
+
+	// bgQueue holds background-class requests (SubmitBackground): work
+	// that is only dispatched when no foreground request is waiting.
+	bgQueue *sched.Queue[pending]
+
+	completed   uint64
+	bgCompleted uint64
+	cacheHits   uint64
+	maxQueue    int
+	seekScale   float64
+	rotScale    float64
+}
+
+var _ device.Device = (*ParallelDrive)(nil)
+
+// New attaches a parallel drive built from the base model to the engine.
+func New(eng *simkit.Engine, model disk.Model, cfg Config) (*ParallelDrive, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	geo, err := geom.New(model.Geom)
+	if err != nil {
+		return nil, err
+	}
+	curve, err := mech.NewSeekCurve(mech.SeekSpec{
+		SingleCylMs:  model.SingleCylMs,
+		AvgMs:        model.AvgSeekMs,
+		FullStrokeMs: model.FullStrokeMs,
+		MaxCyl:       model.Geom.Cylinders - 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rot, err := mech.NewRotation(model.RPM)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := cache.New(cache.Config{
+		SizeBytes:        model.CacheBytes,
+		SectorBytes:      model.Geom.SectorBytes,
+		Segments:         model.CacheSegments,
+		ReadAheadSectors: model.ReadAheadSectors,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pm, err := power.NewModel(model.PowerCoeff, model.PowerSpec(cfg.Actuators))
+	if err != nil {
+		return nil, err
+	}
+	scfg := disk.DefaultSchedConfig()
+	if cfg.Sched != nil {
+		scfg = *cfg.Sched
+	}
+	d := &ParallelDrive{
+		model:     model,
+		cfg:       cfg,
+		eng:       eng,
+		geo:       geo,
+		curve:     curve,
+		rot:       rot,
+		buf:       buf,
+		queue:     sched.NewQueue[pending](scfg),
+		bgQueue:   sched.NewQueue[pending](scfg),
+		acct:      power.NewAccountant(pm),
+		pm:        pm,
+		arms:      make([]arm, cfg.Actuators),
+		seekScale: normalizeScale(cfg.SeekScale),
+		rotScale:  normalizeScale(cfg.RotScale),
+	}
+	for i := range d.arms {
+		if cfg.InitialCyls != nil {
+			c := cfg.InitialCyls[i]
+			if c < 0 || c >= model.Geom.Cylinders {
+				return nil, fmt.Errorf("core: initial cylinder %d out of range", c)
+			}
+			d.arms[i].cyl = c
+		}
+		if cfg.AngularOffsets != nil {
+			d.arms[i].alpha = cfg.AngularOffsets[i]
+		} else {
+			d.arms[i].alpha = float64(i) / float64(cfg.Actuators)
+		}
+	}
+	return d, nil
+}
+
+// normalizeScale mirrors the disk package's scale semantics.
+func normalizeScale(s float64) float64 {
+	switch {
+	case s == 0:
+		return 1
+	case s == disk.ZeroedScale:
+		return 0
+	case s < 0:
+		panic(fmt.Sprintf("core: invalid scale %v", s))
+	default:
+		return s
+	}
+}
+
+// NewSA builds the paper's HC-SD-SA(n) design point on the given base
+// model: n actuators, single arm in motion, single channel, SPTF.
+func NewSA(eng *simkit.Engine, model disk.Model, n int) (*ParallelDrive, error) {
+	return New(eng, model, Config{Actuators: n})
+}
+
+// Taxonomy reports the drive's DASH taxonomy point.
+func (d *ParallelDrive) Taxonomy() DASH {
+	t := SA(d.cfg.Actuators)
+	t.H = d.cfg.headsPerArm()
+	return t
+}
+
+// Model returns the base drive model.
+func (d *ParallelDrive) Model() disk.Model { return d.model }
+
+// Capacity reports the drive's size in sectors.
+func (d *ParallelDrive) Capacity() int64 { return d.geo.TotalSectors() }
+
+// Completed reports how many requests have finished.
+func (d *ParallelDrive) Completed() uint64 { return d.completed }
+
+// CacheHits reports how many reads were served from the buffer.
+func (d *ParallelDrive) CacheHits() uint64 { return d.cacheHits }
+
+// MaxQueue reports the dispatch queue's high-water mark.
+func (d *ParallelDrive) MaxQueue() int { return d.maxQueue }
+
+// QueueLen reports the current dispatch queue length.
+func (d *ParallelDrive) QueueLen() int { return d.queue.Len() }
+
+// Actuators reports the configured arm-assembly count.
+func (d *ParallelDrive) Actuators() int { return d.cfg.Actuators }
+
+// HealthyArms reports how many arm assemblies remain in service.
+func (d *ParallelDrive) HealthyArms() int {
+	n := 0
+	for i := range d.arms {
+		if !d.arms[i].failed {
+			n++
+		}
+	}
+	return n
+}
+
+// ServicedByArm reports per-arm service counts (index = arm number).
+func (d *ParallelDrive) ServicedByArm() []uint64 {
+	out := make([]uint64, len(d.arms))
+	for i := range d.arms {
+		out[i] = d.arms[i].serviced
+	}
+	return out
+}
+
+// Power reports the drive's average-power breakdown over elapsed ms.
+func (d *ParallelDrive) Power(elapsedMs float64) power.Breakdown {
+	return d.acct.Breakdown(elapsedMs)
+}
+
+// PowerModel exposes the drive's power model.
+func (d *ParallelDrive) PowerModel() *power.Model { return d.pm }
+
+// FailArm deconfigures one arm assembly at runtime — the §8 graceful
+// degradation path (a SMART-style predicted failure takes the actuator
+// out of service while the drive keeps running on the remaining arms).
+// An in-flight service on the arm completes; the arm just takes no
+// further work. Failing the last healthy arm is refused.
+func (d *ParallelDrive) FailArm(i int) error {
+	if i < 0 || i >= len(d.arms) {
+		return fmt.Errorf("core: arm %d out of range [0,%d)", i, len(d.arms))
+	}
+	if d.arms[i].failed {
+		return fmt.Errorf("core: arm %d already deconfigured", i)
+	}
+	if d.HealthyArms() == 1 {
+		return fmt.Errorf("core: refusing to deconfigure the last healthy arm")
+	}
+	a := &d.arms[i]
+	a.failed = true
+	// A pre-seek assignment is abandoned; the request goes back to the
+	// queue so another arm picks it up.
+	if a.assigned != nil {
+		p := *a.assigned
+		a.assigned = nil
+		d.queue.Push(p, d.eng.Now())
+	}
+	return nil
+}
+
+// RepairArm returns a deconfigured arm to service.
+func (d *ParallelDrive) RepairArm(i int) error {
+	if i < 0 || i >= len(d.arms) {
+		return fmt.Errorf("core: arm %d out of range [0,%d)", i, len(d.arms))
+	}
+	if !d.arms[i].failed {
+		return fmt.Errorf("core: arm %d is not deconfigured", i)
+	}
+	d.arms[i].failed = false
+	d.trySchedule()
+	return nil
+}
+
+// SubmitBackground presents a background-class request: it is serviced
+// only when no foreground request is pending, using whatever actuator is
+// free. This provides the functionality of freeblock scheduling (§5 of
+// the paper) with dedicated hardware instead of rotational-gap stealing:
+// background work never delays a queued foreground request, and unlike
+// freeblock scheduling it is not constrained to finish within a
+// foreground request's rotational latency window.
+func (d *ParallelDrive) SubmitBackground(r trace.Request, done device.Done) {
+	if r.End() > d.geo.TotalSectors() {
+		panic(fmt.Sprintf("core: %s: background request [%d,%d) beyond capacity %d",
+			d.model.Name, r.LBA, r.End(), d.geo.TotalSectors()))
+	}
+	now := d.eng.Now()
+	if r.Read && d.buf.Lookup(r.LBA, r.Sectors) {
+		d.cacheHits++
+		d.eng.After(d.model.CacheHitMs, func() {
+			d.bgCompleted++
+			if done != nil {
+				done(d.eng.Now())
+			}
+		})
+		return
+	}
+	d.bgQueue.Push(pending{req: r, done: done, loc: d.geo.Locate(r.LBA), background: true}, now)
+	d.trySchedule()
+}
+
+// BackgroundCompleted reports how many background requests finished.
+func (d *ParallelDrive) BackgroundCompleted() uint64 { return d.bgCompleted }
+
+// BackgroundPending reports the background queue length.
+func (d *ParallelDrive) BackgroundPending() int { return d.bgQueue.Len() }
+
+// Submit presents a request at the current simulated time. Requests
+// beyond the drive's capacity panic (see disk.Drive.Submit).
+func (d *ParallelDrive) Submit(r trace.Request, done device.Done) {
+	if r.End() > d.geo.TotalSectors() {
+		panic(fmt.Sprintf("core: %s: request [%d,%d) beyond capacity %d",
+			d.model.Name, r.LBA, r.End(), d.geo.TotalSectors()))
+	}
+	now := d.eng.Now()
+	if r.Read && d.buf.Lookup(r.LBA, r.Sectors) {
+		d.cacheHits++
+		d.eng.After(d.model.CacheHitMs, func() {
+			d.completed++
+			if done != nil {
+				done(d.eng.Now())
+			}
+		})
+		return
+	}
+	d.queue.Push(pending{req: r, done: done, loc: d.geo.Locate(r.LBA)}, now)
+	if d.queue.Len() > d.maxQueue {
+		d.maxQueue = d.queue.Len()
+	}
+	d.trySchedule()
+}
+
+// armTarget is the platter rotation angle at which loc's sector sits
+// under head `head` of the given arm: the sector angle shifted by the
+// arm's angular mounting position plus the head's offset along the arm's
+// head circle.
+func (d *ParallelDrive) armTarget(armIdx, head int, loc geom.Loc) float64 {
+	h := float64(head) / float64(d.cfg.headsPerArm())
+	t := loc.Angle - d.arms[armIdx].alpha - h
+	for t < 0 {
+		t += 1
+	}
+	return t
+}
+
+// posCost is the positioning time (seek + rotational latency) for the
+// given arm to begin service at loc at time now. With multiple heads per
+// arm, the wait ends when the sector reaches the nearest head.
+func (d *ParallelDrive) posCost(armIdx int, loc geom.Loc, now float64) (seekMs, rotMs float64) {
+	seekMs = d.curve.Time(d.arms[armIdx].cyl-loc.Cyl) * d.seekScale
+	atTrack := now + d.model.ControllerOverheadMs + seekMs
+	rotMs = d.rot.LatencyTo(d.armTarget(armIdx, 0, loc), atTrack)
+	for h := 1; h < d.cfg.headsPerArm(); h++ {
+		if r := d.rot.LatencyTo(d.armTarget(armIdx, h, loc), atTrack); r < rotMs {
+			rotMs = r
+		}
+	}
+	rotMs *= d.rotScale
+	return seekMs, rotMs
+}
+
+// bestArmFor reports the idle arm with the lowest positioning cost for
+// loc, or -1 when no arm is available.
+func (d *ParallelDrive) bestArmFor(loc geom.Loc, now float64) (armIdx int, cost float64) {
+	armIdx = -1
+	for i := range d.arms {
+		a := &d.arms[i]
+		if a.failed || a.busy || a.assigned != nil {
+			continue
+		}
+		seekMs, rotMs := d.posCost(i, loc, now)
+		if c := seekMs + rotMs; armIdx == -1 || c < cost {
+			armIdx, cost = i, c
+		}
+	}
+	return armIdx, cost
+}
+
+// transferTime walks the request across tracks, as disk.Drive does.
+func (d *ParallelDrive) transferTime(lba int64, sectors int) float64 {
+	t := 0.0
+	cur := lba
+	remaining := sectors
+	for remaining > 0 {
+		l := d.geo.Locate(cur)
+		onTrack := l.SPT - l.Sector
+		if onTrack > remaining {
+			onTrack = remaining
+		}
+		t += d.rot.TransferTime(onTrack, l.SPT)
+		remaining -= onTrack
+		cur += int64(onTrack)
+		if remaining > 0 {
+			t += d.model.TrackSwitchMs
+		}
+	}
+	return t
+}
+
+// trySchedule starts as many services as free channels allow, then (in
+// the multi-arm-motion variant) assigns idle arms to pre-seek.
+func (d *ParallelDrive) trySchedule() {
+	for d.activeChannels < d.cfg.channels() {
+		if !d.dispatchOne() {
+			break
+		}
+	}
+	if d.cfg.MultiArmMotion {
+		d.preSeekAssign()
+	}
+}
+
+// dispatchOne starts one service if work and an arm are available.
+func (d *ParallelDrive) dispatchOne() bool {
+	now := d.eng.Now()
+
+	// Candidate 1: a pre-positioned arm holding an assignment.
+	bestAssigned := -1
+	var bestAssignedCost float64
+	for i := range d.arms {
+		a := &d.arms[i]
+		if a.assigned == nil || a.busy || a.failed {
+			continue
+		}
+		rem := a.seekDoneAt - now
+		if rem < 0 {
+			rem = 0
+		}
+		rot := d.rot.LatencyTo(d.armTarget(i, 0, a.assigned.loc), now+rem)
+		for h := 1; h < d.cfg.headsPerArm(); h++ {
+			if r := d.rot.LatencyTo(d.armTarget(i, h, a.assigned.loc), now+rem); r < rot {
+				rot = r
+			}
+		}
+		rot *= d.rotScale
+		if c := rem + rot; bestAssigned == -1 || c < bestAssignedCost {
+			bestAssigned, bestAssignedCost = i, c
+		}
+	}
+
+	// Candidate 2: the best (request, idle arm) pair from the queue.
+	queueCost := func(p pending) float64 {
+		_, c := d.bestArmFor(p.loc, now)
+		return c
+	}
+	haveIdleArm := false
+	for i := range d.arms {
+		if !d.arms[i].failed && !d.arms[i].busy && d.arms[i].assigned == nil {
+			haveIdleArm = true
+			break
+		}
+	}
+
+	var fromQueue *pending
+	var fromQueueCost float64
+	if haveIdleArm && d.queue.Len() > 0 {
+		if p, ok := d.queue.Peek(now, queueCost); ok {
+			c := queueCost(p)
+			fromQueue = &p
+			fromQueueCost = c
+		}
+	}
+
+	// Background work runs only when no foreground work is dispatchable.
+	if fromQueue == nil && bestAssigned == -1 && haveIdleArm && d.bgQueue.Len() > 0 {
+		if p, ok := d.bgQueue.Pop(now, queueCost); ok {
+			armIdx, _ := d.bestArmFor(p.loc, now)
+			if armIdx != -1 {
+				d.startService(armIdx, p, false, 0)
+				return true
+			}
+			d.bgQueue.Push(p, now)
+		}
+	}
+
+	switch {
+	case fromQueue != nil && (bestAssigned == -1 || fromQueueCost <= bestAssignedCost):
+		p, _ := d.queue.Pop(now, queueCost)
+		armIdx, _ := d.bestArmFor(p.loc, now)
+		if armIdx == -1 {
+			// Should be impossible: haveIdleArm was true and nothing
+			// changed since. Re-queue defensively.
+			d.queue.Push(p, now)
+			return false
+		}
+		d.startService(armIdx, p, false, 0)
+		return true
+	case bestAssigned != -1:
+		a := &d.arms[bestAssigned]
+		p := *a.assigned
+		a.assigned = nil
+		rem := a.seekDoneAt - now
+		if rem < 0 {
+			rem = 0
+		}
+		d.startService(bestAssigned, p, true, rem)
+		return true
+	default:
+		return false
+	}
+}
+
+// startService begins media access for p on the given arm. preSeeked
+// marks a request whose seek already ran during an earlier service (the
+// multi-arm-motion variant); remSeek is its residual seek time.
+func (d *ParallelDrive) startService(armIdx int, p pending, preSeeked bool, remSeek float64) {
+	now := d.eng.Now()
+	a := &d.arms[armIdx]
+	a.busy = true
+	primary := d.activeChannels == 0
+	d.activeChannels++
+
+	var seekMs, rotMs, overhead float64
+	if preSeeked {
+		// Seek was overlapped; pay the residual plus rotation from there.
+		seekMs = remSeek
+		rotMs = d.rot.LatencyTo(d.armTarget(armIdx, 0, p.loc), now+remSeek)
+		for h := 1; h < d.cfg.headsPerArm(); h++ {
+			if r := d.rot.LatencyTo(d.armTarget(armIdx, h, p.loc), now+remSeek); r < rotMs {
+				rotMs = r
+			}
+		}
+		rotMs *= d.rotScale
+		overhead = 0 // command overhead was paid at assignment time
+	} else {
+		seekMs, rotMs = d.posCost(armIdx, p.loc, now)
+		overhead = d.model.ControllerOverheadMs
+	}
+	xferMs := d.transferTime(p.req.LBA, p.req.Sectors)
+	serviceEnd := now + overhead + seekMs + rotMs + xferMs
+
+	if primary {
+		d.acct.AddSeek(seekMs, 1)
+		d.acct.Add(power.RotLatency, rotMs)
+		d.acct.Add(power.Transfer, xferMs)
+	} else {
+		// Concurrent channel: the drive's baseline power for this wall
+		// time is already charged by the primary timeline; charge only
+		// the incremental VCM and channel power.
+		d.acct.AddSeekIncrement(seekMs)
+		d.acct.AddTransferIncrement(xferMs)
+	}
+	if d.cfg.OnService != nil {
+		d.cfg.OnService(seekMs, rotMs, xferMs)
+	}
+	a.cyl = p.loc.Cyl
+
+	d.eng.At(serviceEnd, func() {
+		a.busy = false
+		a.serviced++
+		d.activeChannels--
+		if p.background {
+			d.bgCompleted++
+		} else {
+			d.completed++
+		}
+		if p.req.Read {
+			d.buf.InsertRead(p.req.LBA, p.req.Sectors)
+		} else {
+			d.buf.InsertWrite(p.req.LBA, p.req.Sectors)
+		}
+		if p.done != nil {
+			p.done(d.eng.Now())
+		}
+		if d.cfg.IdleReturn {
+			d.returnIdleArms(armIdx, p.loc.Cyl)
+		}
+		d.trySchedule()
+	})
+}
+
+// returnIdleArms repositions idle arms that have drifted far from the
+// active band back toward the just-serviced cylinder. Each returning arm
+// is unavailable while it moves and pays VCM energy for the trip.
+func (d *ParallelDrive) returnIdleArms(servicedArm, cyl int) {
+	threshold := d.model.Geom.Cylinders / 8
+	for i := range d.arms {
+		a := &d.arms[i]
+		if i == servicedArm || a.failed || a.busy || a.assigned != nil {
+			continue
+		}
+		dist := a.cyl - cyl
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist <= threshold {
+			continue
+		}
+		// Park a little off the target, staggered per arm, so returning
+		// arms do not stack on one cylinder.
+		target := cyl + (i+1)*64
+		if target >= d.model.Geom.Cylinders {
+			target = d.model.Geom.Cylinders - 1
+		}
+		seekMs := d.curve.Time(a.cyl-target) * d.seekScale
+		a.busy = true
+		d.acct.AddSeekIncrement(seekMs)
+		d.eng.After(seekMs, func() {
+			a.busy = false
+			a.cyl = target
+			d.trySchedule()
+		})
+	}
+}
+
+// preSeekAssign lets idle arms begin seeking toward queued requests
+// while the channel is busy (the relaxed multi-arm-motion design).
+func (d *ParallelDrive) preSeekAssign() {
+	now := d.eng.Now()
+	for i := range d.arms {
+		a := &d.arms[i]
+		if a.failed || a.busy || a.assigned != nil {
+			continue
+		}
+		if d.queue.Len() == 0 {
+			return
+		}
+		cost := func(p pending) float64 {
+			seekMs, rotMs := d.posCost(i, p.loc, now)
+			return seekMs + rotMs
+		}
+		p, ok := d.queue.Pop(now, cost)
+		if !ok {
+			return
+		}
+		seekMs, _ := d.posCost(i, p.loc, now)
+		held := p
+		a.assigned = &held
+		a.seekDoneAt = now + d.model.ControllerOverheadMs + seekMs
+		a.cyl = held.loc.Cyl
+		// Overlapped motion: charge the VCM increment only.
+		d.acct.AddSeekIncrement(seekMs)
+	}
+}
+
+// DriveStats is a snapshot of a parallel drive's counters.
+type DriveStats struct {
+	Taxonomy            DASH
+	Completed           uint64
+	BackgroundCompleted uint64
+	CacheHits           uint64
+	MaxQueue            int
+	HealthyArms         int
+	ServicedByArm       []uint64
+}
+
+// Stats returns a snapshot of the drive's counters.
+func (d *ParallelDrive) Stats() DriveStats {
+	return DriveStats{
+		Taxonomy:            d.Taxonomy(),
+		Completed:           d.completed,
+		BackgroundCompleted: d.bgCompleted,
+		CacheHits:           d.cacheHits,
+		MaxQueue:            d.maxQueue,
+		HealthyArms:         d.HealthyArms(),
+		ServicedByArm:       d.ServicedByArm(),
+	}
+}

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/power"
+	"repro/internal/simkit"
+	"repro/internal/trace"
+)
+
+// smallModel mirrors the disk package's fast test drive, with a seek
+// curve proportionate to its reduced stroke.
+func smallModel() disk.Model {
+	m := disk.BarracudaES()
+	m.Name = "test-small"
+	m.Geom.Cylinders = 2000
+	m.Geom.Zones = 4
+	m.Geom.OuterSPT = 300
+	m.Geom.InnerSPT = 200
+	m.SingleCylMs = 0.5
+	m.AvgSeekMs = 2.0
+	m.FullStrokeMs = 4.0
+	return m
+}
+
+func newSA(t testing.TB, n int) (*simkit.Engine, *ParallelDrive) {
+	t.Helper()
+	eng := simkit.New()
+	d, err := NewSA(eng, smallModel(), n)
+	if err != nil {
+		t.Fatalf("NewSA(%d): %v", n, err)
+	}
+	return eng, d
+}
+
+// randomTrace builds a deterministic random request stream within cap.
+func randomTrace(seed int64, n int, meanGapMs float64, capacity int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := make(trace.Trace, n)
+	now := 0.0
+	for i := range tr {
+		now += rng.ExpFloat64() * meanGapMs
+		tr[i] = trace.Request{
+			ArrivalMs: now,
+			LBA:       rng.Int63n(capacity - 300),
+			Sectors:   1 + rng.Intn(64),
+			Read:      rng.Intn(100) < 60,
+		}
+	}
+	return tr
+}
+
+// replay submits the trace and returns per-request response times.
+func replay(eng *simkit.Engine, submit func(trace.Request, func(float64)), tr trace.Trace) []float64 {
+	resp := make([]float64, len(tr))
+	for i, r := range tr {
+		i, r := i, r
+		eng.At(r.ArrivalMs, func() {
+			submit(r, func(at float64) { resp[i] = at - r.ArrivalMs })
+		})
+	}
+	eng.Run()
+	return resp
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := simkit.New()
+	bad := []Config{
+		{Actuators: 0},
+		{Actuators: 2, Channels: -1},
+		{Actuators: 2, Channels: 3},
+		{Actuators: 2, InitialCyls: []int{0}},
+		{Actuators: 2, InitialCyls: []int{0, 999999}},
+	}
+	for _, cfg := range bad {
+		if _, err := New(eng, smallModel(), cfg); err == nil {
+			t.Errorf("accepted invalid config %+v", cfg)
+		}
+	}
+}
+
+func TestTaxonomyReported(t *testing.T) {
+	_, d := newSA(t, 3)
+	if got := d.Taxonomy().String(); got != "D1A3S1H1" {
+		t.Fatalf("Taxonomy = %s, want D1A3S1H1", got)
+	}
+	if d.Actuators() != 3 || d.HealthyArms() != 3 {
+		t.Fatalf("Actuators=%d HealthyArms=%d, want 3/3", d.Actuators(), d.HealthyArms())
+	}
+}
+
+// The pivotal consistency test: with one actuator, the parallel drive is
+// behaviorally identical to the conventional drive implementation.
+func TestSA1EquivalentToConventionalDrive(t *testing.T) {
+	m := smallModel()
+
+	engA := simkit.New()
+	conv, err := disk.New(engA, m, disk.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB := simkit.New()
+	par, err := NewSA(engB, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := randomTrace(11, 400, 10, conv.Capacity())
+	respConv := replay(engA, func(r trace.Request, f func(float64)) { conv.Submit(r, f) }, tr)
+	respPar := replay(engB, func(r trace.Request, f func(float64)) { par.Submit(r, f) }, tr)
+
+	for i := range respConv {
+		if math.Abs(respConv[i]-respPar[i]) > 1e-6 {
+			t.Fatalf("request %d: conventional %.9f ms vs SA(1) %.9f ms",
+				i, respConv[i], respPar[i])
+		}
+	}
+	if conv.CacheHits() != par.CacheHits() {
+		t.Fatalf("cache hits differ: %d vs %d", conv.CacheHits(), par.CacheHits())
+	}
+	// Power accounting must agree too.
+	bc := conv.Power(engA.Now())
+	bp := par.Power(engB.Now())
+	for _, mode := range power.Modes {
+		// SA(1) carries the same actuator count, so per-mode watts match
+		// up to the tiny per-arm electronics term.
+		if math.Abs(bc.Watts[mode]-bp.Watts[mode]) > 0.2 {
+			t.Fatalf("mode %v watts differ: %v vs %v", mode, bc.Watts[mode], bp.Watts[mode])
+		}
+	}
+}
+
+func TestMoreArmsReduceResponseUnderLoad(t *testing.T) {
+	meanResp := func(n int) float64 {
+		eng, d := newSA(t, n)
+		tr := randomTrace(13, 800, 9, d.Capacity()) // near saturation for SA(1)
+		resp := replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+		return mean(resp)
+	}
+	r1 := meanResp(1)
+	r2 := meanResp(2)
+	r4 := meanResp(4)
+	if !(r2 < r1) {
+		t.Fatalf("SA(2) mean %v not below SA(1) %v", r2, r1)
+	}
+	if !(r4 <= r2*1.02) {
+		t.Fatalf("SA(4) mean %v worse than SA(2) %v", r4, r2)
+	}
+	// Diminishing returns: the second doubling buys less than the first.
+	if (r2 - r4) > (r1 - r2) {
+		t.Fatalf("no diminishing returns: r1=%v r2=%v r4=%v", r1, r2, r4)
+	}
+}
+
+func TestMoreArmsShortenRotationalLatency(t *testing.T) {
+	meanRot := func(n int) float64 {
+		eng := simkit.New()
+		var rotSum float64
+		var count int
+		d, err := New(eng, smallModel(), Config{
+			Actuators: n,
+			OnService: func(s, r, x float64) { rotSum += r; count++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Light load: with shallow queues the rotational gain comes from
+		// the diagonal arm placement, not from SPTF request choice.
+		tr := randomTrace(17, 600, 18, d.Capacity())
+		replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+		return rotSum / float64(count)
+	}
+	r1 := meanRot(1)
+	r2 := meanRot(2)
+	r4 := meanRot(4)
+	if r2 >= r1*0.85 {
+		t.Fatalf("SA(2) mean rotational latency %v not well below SA(1) %v", r2, r1)
+	}
+	if r4 >= r2 {
+		t.Fatalf("SA(4) mean rotational latency %v not below SA(2) %v", r4, r2)
+	}
+}
+
+func TestAllArmsShareWork(t *testing.T) {
+	eng, d := newSA(t, 4)
+	tr := randomTrace(19, 800, 6, d.Capacity())
+	replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+	per := d.ServicedByArm()
+	var total uint64
+	for i, n := range per {
+		if n == 0 {
+			t.Fatalf("arm %d serviced nothing: %v", i, per)
+		}
+		total += n
+	}
+	if total+d.CacheHits() != d.Completed() {
+		t.Fatalf("per-arm sum %d + cache hits %d != completed %d",
+			total, d.CacheHits(), d.Completed())
+	}
+}
+
+func TestPowerBoundedByPeak(t *testing.T) {
+	eng, d := newSA(t, 4)
+	tr := randomTrace(23, 500, 5, d.Capacity())
+	replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+	b := d.Power(eng.Now())
+	if b.Total() > d.PowerModel().PeakPower() {
+		t.Fatalf("average power %v exceeds peak %v", b.Total(), d.PowerModel().PeakPower())
+	}
+	// Base design: one arm in motion at a time, so the seek-mode draw can
+	// never exceed the 1-VCM level's share.
+	if b.Watts[power.Seek] > d.PowerModel().ModePower(power.Seek, 1) {
+		t.Fatalf("seek watts %v exceed single-VCM level", b.Watts[power.Seek])
+	}
+}
+
+func TestFailArmDegradesGracefully(t *testing.T) {
+	eng, d := newSA(t, 3)
+	tr := randomTrace(29, 600, 8, d.Capacity())
+	// Fail arm 1 a third of the way through the run.
+	failAt := tr[len(tr)/3].ArrivalMs
+	eng.At(failAt, func() {
+		if err := d.FailArm(1); err != nil {
+			t.Errorf("FailArm(1): %v", err)
+		}
+	})
+	resp := replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+	for i, r := range resp {
+		if r <= 0 {
+			t.Fatalf("request %d never completed after arm failure", i)
+		}
+	}
+	if d.HealthyArms() != 2 {
+		t.Fatalf("HealthyArms = %d, want 2", d.HealthyArms())
+	}
+}
+
+func TestFailArmValidation(t *testing.T) {
+	_, d := newSA(t, 2)
+	if err := d.FailArm(-1); err == nil {
+		t.Fatalf("FailArm(-1) accepted")
+	}
+	if err := d.FailArm(2); err == nil {
+		t.Fatalf("FailArm(out of range) accepted")
+	}
+	if err := d.FailArm(0); err != nil {
+		t.Fatalf("FailArm(0): %v", err)
+	}
+	if err := d.FailArm(0); err == nil {
+		t.Fatalf("double FailArm accepted")
+	}
+	if err := d.FailArm(1); err == nil {
+		t.Fatalf("failing the last healthy arm accepted")
+	}
+}
+
+func TestRepairArmRestoresService(t *testing.T) {
+	eng, d := newSA(t, 2)
+	if err := d.FailArm(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairArm(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.HealthyArms() != 2 {
+		t.Fatalf("HealthyArms = %d after repair, want 2", d.HealthyArms())
+	}
+	if err := d.RepairArm(1); err == nil {
+		t.Fatalf("repairing a healthy arm accepted")
+	}
+	if err := d.RepairArm(9); err == nil {
+		t.Fatalf("RepairArm(out of range) accepted")
+	}
+	// The repaired arm takes work again.
+	tr := randomTrace(31, 400, 6, d.Capacity())
+	replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+	per := d.ServicedByArm()
+	if per[1] == 0 {
+		t.Fatalf("repaired arm serviced nothing: %v", per)
+	}
+}
+
+func TestDegradedDriveSlowerThanHealthy(t *testing.T) {
+	run := func(fail bool) float64 {
+		eng, d := newSA(t, 4)
+		if fail {
+			for i := 1; i < 4; i++ {
+				if err := d.FailArm(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		tr := randomTrace(37, 600, 9, d.Capacity())
+		return mean(replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr))
+	}
+	healthy := run(false)
+	degraded := run(true)
+	if degraded <= healthy {
+		t.Fatalf("degraded drive mean %v not above healthy %v", degraded, healthy)
+	}
+}
+
+func TestMultiArmMotionCompletesAllWork(t *testing.T) {
+	eng := simkit.New()
+	d, err := New(eng, smallModel(), Config{Actuators: 2, MultiArmMotion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(41, 600, 8, d.Capacity())
+	resp := replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+	for i, r := range resp {
+		if r <= 0 {
+			t.Fatalf("request %d never completed under multi-arm motion", i)
+		}
+	}
+	if d.Completed() != uint64(len(tr)) {
+		t.Fatalf("completed %d of %d", d.Completed(), len(tr))
+	}
+}
+
+func TestMultiArmMotionNotWorseThanBase(t *testing.T) {
+	run := func(multi bool) float64 {
+		eng := simkit.New()
+		d, err := New(eng, smallModel(), Config{Actuators: 2, MultiArmMotion: multi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := randomTrace(43, 800, 9, d.Capacity())
+		return mean(replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr))
+	}
+	base := run(false)
+	multi := run(true)
+	// The paper reports the relaxation provides little benefit; our model
+	// should at least not regress materially.
+	if multi > base*1.10 {
+		t.Fatalf("multi-arm motion mean %v much worse than base %v", multi, base)
+	}
+}
+
+func TestMultiChannelServesConcurrently(t *testing.T) {
+	run := func(channels int) float64 {
+		eng := simkit.New()
+		d, err := New(eng, smallModel(), Config{Actuators: 4, Channels: channels})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := randomTrace(47, 900, 4, d.Capacity()) // heavy load
+		return mean(replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr))
+	}
+	one := run(1)
+	four := run(4)
+	if four >= one {
+		t.Fatalf("4-channel mean %v not below 1-channel %v under heavy load", four, one)
+	}
+}
+
+func TestInitialPlacementUsed(t *testing.T) {
+	eng := simkit.New()
+	m := smallModel()
+	d, err := New(eng, m, Config{Actuators: 2, InitialCyls: []int{100, 1900}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.arms[0].cyl != 100 || d.arms[1].cyl != 1900 {
+		t.Fatalf("initial placement not applied: %d, %d", d.arms[0].cyl, d.arms[1].cyl)
+	}
+	// Default placement starts every arm at cylinder 0.
+	d2, err := NewSA(eng, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.arms[0].cyl != 0 || d2.arms[2].cyl != 0 {
+		t.Fatalf("default placement wrong: %v %v", d2.arms[0].cyl, d2.arms[2].cyl)
+	}
+}
+
+func TestSubmitBeyondCapacityPanics(t *testing.T) {
+	eng, d := newSA(t, 2)
+	eng.At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("out-of-range request did not panic")
+			}
+		}()
+		d.Submit(trace.Request{LBA: d.Capacity(), Sectors: 1, Read: true}, nil)
+	})
+	eng.Run()
+}
+
+func TestCacheHitPathMatchesConventional(t *testing.T) {
+	eng, d := newSA(t, 4)
+	var first, second float64
+	eng.At(0, func() {
+		d.Submit(trace.Request{LBA: 5000, Sectors: 8, Read: true}, func(at float64) {
+			first = at
+			d.Submit(trace.Request{LBA: 5000, Sectors: 8, Read: true}, func(at2 float64) {
+				second = at2 - first
+			})
+		})
+	})
+	eng.Run()
+	if d.CacheHits() != 1 {
+		t.Fatalf("CacheHits = %d, want 1", d.CacheHits())
+	}
+	if math.Abs(second-smallModel().CacheHitMs) > 1e-9 {
+		t.Fatalf("cache hit latency %v", second)
+	}
+}
+
+func TestReducedRPMParallelDrive(t *testing.T) {
+	// §7.2: a lower-RPM SA(4) still services everything; its idle power
+	// drops below the 7200 RPM conventional drive's.
+	eng := simkit.New()
+	m := smallModel().WithRPM(4200)
+	d, err := NewSA(eng, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(53, 300, 12, d.Capacity())
+	resp := replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+	for i, r := range resp {
+		if r <= 0 {
+			t.Fatalf("request %d never completed at 4200 RPM", i)
+		}
+	}
+	ref, err := power.NewModel(power.Default(), smallModel().PowerSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PowerModel().IdlePower() >= ref.IdlePower() {
+		t.Fatalf("SA(4)@4200 idle %v not below conventional@7200 idle %v",
+			d.PowerModel().IdlePower(), ref.IdlePower())
+	}
+}
+
+func BenchmarkSA4Throughput(b *testing.B) {
+	eng := simkit.New()
+	d, err := NewSA(eng, smallModel(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(59))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := eng.Now() + 3
+		lba := rng.Int63n(d.Capacity() - 64)
+		eng.At(at, func() {
+			d.Submit(trace.Request{LBA: lba, Sectors: 8, Read: false}, nil)
+		})
+		eng.Run()
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	eng, d := newSA(t, 2)
+	tr := randomTrace(101, 100, 10, d.Capacity())
+	replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+	s := d.Stats()
+	if s.Taxonomy.String() != "D1A2S1H1" {
+		t.Fatalf("taxonomy %s", s.Taxonomy)
+	}
+	if s.Completed != 100 {
+		t.Fatalf("Completed %d", s.Completed)
+	}
+	if s.HealthyArms != 2 || len(s.ServicedByArm) != 2 {
+		t.Fatalf("arm stats wrong: %+v", s)
+	}
+	var mech uint64
+	for _, n := range s.ServicedByArm {
+		mech += n
+	}
+	if mech+s.CacheHits != s.Completed {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+}

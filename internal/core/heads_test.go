@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/simkit"
+	"repro/internal/trace"
+)
+
+// H-dimension tests: multiple heads per arm (Figure 1(b), D1·Al·S1·Hn).
+
+func TestHeadsTaxonomy(t *testing.T) {
+	eng := simkit.New()
+	d, err := New(eng, smallModel(), Config{Actuators: 2, HeadsPerArm: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Taxonomy().String(); got != "D1A2S1H2" {
+		t.Fatalf("taxonomy %s, want D1A2S1H2", got)
+	}
+	if d.Taxonomy().DataPaths() != 4 {
+		t.Fatalf("data paths %d, want 4 (the paper's Figure 1(b))", d.Taxonomy().DataPaths())
+	}
+}
+
+func TestHeadsConfigValidation(t *testing.T) {
+	eng := simkit.New()
+	if _, err := New(eng, smallModel(), Config{Actuators: 1, HeadsPerArm: -1}); err == nil {
+		t.Fatalf("negative HeadsPerArm accepted")
+	}
+	// Zero means one.
+	d, err := New(eng, smallModel(), Config{Actuators: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Taxonomy().H != 1 {
+		t.Fatalf("default H = %d", d.Taxonomy().H)
+	}
+}
+
+func TestMoreHeadsShortenRotationalLatency(t *testing.T) {
+	meanRot := func(heads int) float64 {
+		eng := simkit.New()
+		var rotSum float64
+		var count int
+		d, err := New(eng, smallModel(), Config{
+			Actuators:   1,
+			HeadsPerArm: heads,
+			OnService:   func(s, r, x float64) { rotSum += r; count++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := randomTrace(91, 600, 18, d.Capacity())
+		replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+		return rotSum / float64(count)
+	}
+	h1 := meanRot(1)
+	h2 := meanRot(2)
+	h4 := meanRot(4)
+	// Equidistant heads quantize the rotation wait: roughly period/(2h).
+	if h2 >= h1*0.7 {
+		t.Fatalf("2 heads rot %v not well below 1 head %v", h2, h1)
+	}
+	if h4 >= h2 {
+		t.Fatalf("4 heads rot %v not below 2 heads %v", h4, h2)
+	}
+}
+
+func TestHeadsAndArmsCompose(t *testing.T) {
+	// D1A2S1H2 should respond at least as well as D1A2S1H1 under load.
+	run := func(heads int) float64 {
+		eng := simkit.New()
+		d, err := New(eng, smallModel(), Config{Actuators: 2, HeadsPerArm: heads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := randomTrace(92, 700, 9, d.Capacity())
+		return mean(replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr))
+	}
+	h1 := run(1)
+	h2 := run(2)
+	if h2 > h1 {
+		t.Fatalf("adding heads regressed response: %v vs %v", h2, h1)
+	}
+}
+
+func TestHeadsCompleteAllWork(t *testing.T) {
+	eng := simkit.New()
+	d, err := New(eng, smallModel(), Config{Actuators: 2, HeadsPerArm: 2, MultiArmMotion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(93, 400, 8, d.Capacity())
+	resp := replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+	for i, r := range resp {
+		if r <= 0 {
+			t.Fatalf("request %d never completed", i)
+		}
+	}
+}

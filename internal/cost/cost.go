@@ -1,0 +1,194 @@
+// Package cost implements the paper's §9 cost-benefit analysis: the
+// component material costs the authors obtained from disk drive industry
+// suppliers (Table 9a), the composition of those components into
+// conventional and intra-disk parallel drives, and the iso-performance
+// cost comparison of Figure 9(b).
+package cost
+
+import "fmt"
+
+// Range is a low/high price band in US dollars.
+type Range struct {
+	Low, High float64
+}
+
+// Mid reports the midpoint of the band, which Figure 9(b)'s bars use.
+func (r Range) Mid() float64 { return (r.Low + r.High) / 2 }
+
+// Add sums two bands.
+func (r Range) Add(o Range) Range { return Range{Low: r.Low + o.Low, High: r.High + o.High} }
+
+// Scale multiplies a band by a count.
+func (r Range) Scale(n float64) Range { return Range{Low: r.Low * n, High: r.High * n} }
+
+// Component identifies a priced disk drive part.
+type Component int
+
+// The components of Table 9a, in the paper's row order.
+const (
+	Media Component = iota
+	SpindleMotor
+	VoiceCoilMotor
+	HeadSuspension
+	Head
+	PivotBearing
+	DiskController
+	MotorDriver
+	Preamplifier
+	numComponents
+)
+
+// String names the component as Table 9a does.
+func (c Component) String() string {
+	switch c {
+	case Media:
+		return "Media"
+	case SpindleMotor:
+		return "Spindle Motor"
+	case VoiceCoilMotor:
+		return "Voice-Coil Motor"
+	case HeadSuspension:
+		return "Head Suspension"
+	case Head:
+		return "Head"
+	case PivotBearing:
+		return "Pivot Bearing"
+	case DiskController:
+		return "Disk Controller"
+	case MotorDriver:
+		return "Motor Driver"
+	case Preamplifier:
+		return "Preamplifier"
+	}
+	return fmt.Sprintf("Component(%d)", int(c))
+}
+
+// Components lists all components in table order.
+func Components() []Component {
+	out := make([]Component, numComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// UnitPrices returns the per-unit supplier price bands of Table 9a.
+func UnitPrices() map[Component]Range {
+	return map[Component]Range{
+		Media:          {6, 7},
+		SpindleMotor:   {5, 10},
+		VoiceCoilMotor: {1, 2},
+		HeadSuspension: {0.50, 0.90},
+		Head:           {3, 3},
+		PivotBearing:   {3, 3},
+		DiskController: {4, 5},
+		MotorDriver:    {3.5, 4},
+		Preamplifier:   {1.2, 1.2},
+	}
+}
+
+// BillOfMaterials gives per-component unit counts for a drive with the
+// given number of platters and actuators, following the paper's
+// composition: media per platter; one spindle motor and one controller;
+// heads, suspensions and preamp/VCM/driver/pivot hardware replicated per
+// actuator (heads and suspensions cover both surfaces of every platter
+// per actuator).
+func BillOfMaterials(platters, actuators int) (map[Component]float64, error) {
+	if platters <= 0 {
+		return nil, fmt.Errorf("cost: platters %d must be positive", platters)
+	}
+	if actuators <= 0 {
+		return nil, fmt.Errorf("cost: actuators %d must be positive", actuators)
+	}
+	surfaces := float64(2 * platters)
+	a := float64(actuators)
+	return map[Component]float64{
+		Media:          float64(platters),
+		SpindleMotor:   1,
+		VoiceCoilMotor: a,
+		HeadSuspension: float64(platters) * a, // one suspension pair per platter per actuator
+		Head:           surfaces * a,
+		PivotBearing:   a,
+		DiskController: 1,
+		MotorDriver:    1, // one driver package; its price scales below
+		Preamplifier:   a,
+	}, nil
+}
+
+// motorDriverPrice returns the driver-electronics band for a drive with
+// the given actuator count: Table 9a prices the packages at $3.5-4,
+// $5-6, and $8-10 for one, two and four actuators — an extra VCM channel
+// adds $1.5-2 per actuator.
+func motorDriverPrice(actuators int) Range {
+	a := float64(actuators)
+	return Range{Low: 3.5 + 1.5*(a-1), High: 4 + 2*(a-1)}
+}
+
+// DriveCost reports the material cost band for a drive with the given
+// platter and actuator counts. The motor-driver electronics grow with
+// actuator count the way Table 9a's drive columns do (one driver feeds
+// the SPM plus one VCM channel per actuator).
+func DriveCost(platters, actuators int) (Range, error) {
+	bom, err := BillOfMaterials(platters, actuators)
+	if err != nil {
+		return Range{}, err
+	}
+	prices := UnitPrices()
+	var total Range
+	for c, n := range bom {
+		p := prices[c]
+		if c == MotorDriver {
+			p = motorDriverPrice(actuators)
+			n = 1
+		}
+		total = total.Add(p.Scale(n))
+	}
+	return total, nil
+}
+
+// SystemCost reports the cost band of a storage system of n identical
+// drives.
+func SystemCost(drives, platters, actuators int) (Range, error) {
+	if drives <= 0 {
+		return Range{}, fmt.Errorf("cost: drives %d must be positive", drives)
+	}
+	per, err := DriveCost(platters, actuators)
+	if err != nil {
+		return Range{}, err
+	}
+	return per.Scale(float64(drives)), nil
+}
+
+// IsoPerfConfig is one bar of Figure 9(b): a storage configuration that
+// delivers equivalent performance in the §7.3 study.
+type IsoPerfConfig struct {
+	Label     string
+	Drives    int
+	Actuators int
+}
+
+// IsoPerformanceConfigs returns Figure 9(b)'s three equivalent-
+// performance configurations (from the §7.3 break-even results): four
+// conventional drives, two 2-actuator drives, one 4-actuator drive.
+func IsoPerformanceConfigs() []IsoPerfConfig {
+	return []IsoPerfConfig{
+		{Label: "4 Conventional Disk Drives", Drives: 4, Actuators: 1},
+		{Label: "2 2-Actuator Disk Drives", Drives: 2, Actuators: 2},
+		{Label: "1 4-Actuator Disk Drive", Drives: 1, Actuators: 4},
+	}
+}
+
+// IsoPerformanceCosts evaluates Figure 9(b) for four-platter drives,
+// returning the cost band of each configuration.
+func IsoPerformanceCosts() ([]Range, error) {
+	configs := IsoPerformanceConfigs()
+	out := make([]Range, len(configs))
+	for i, c := range configs {
+		r, err := SystemCost(c.Drives, 4, c.Actuators)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

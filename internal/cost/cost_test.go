@@ -1,0 +1,146 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want float64, label string) {
+	t.Helper()
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("%s = %v, want %v", label, got, want)
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	if Media.String() != "Media" || Preamplifier.String() != "Preamplifier" {
+		t.Fatalf("component names wrong")
+	}
+	if Component(99).String() != "Component(99)" {
+		t.Fatalf("fallback name wrong")
+	}
+	if len(Components()) != int(numComponents) {
+		t.Fatalf("Components() length %d", len(Components()))
+	}
+}
+
+func TestRangeArithmetic(t *testing.T) {
+	r := Range{1, 3}
+	if r.Mid() != 2 {
+		t.Fatalf("Mid = %v", r.Mid())
+	}
+	if got := r.Add(Range{2, 4}); got != (Range{3, 7}) {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := r.Scale(2); got != (Range{2, 6}) {
+		t.Fatalf("Scale = %+v", got)
+	}
+}
+
+// Table 9a's drive columns, exactly.
+func TestConventionalDriveCostMatchesTable9a(t *testing.T) {
+	r, err := DriveCost(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.Low, 67.7, "conventional low")
+	approx(t, r.High, 80.8, "conventional high")
+}
+
+func TestTwoActuatorDriveCostMatchesTable9a(t *testing.T) {
+	r, err := DriveCost(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.Low, 100.4, "2-actuator low")
+	approx(t, r.High, 116.6, "2-actuator high")
+}
+
+func TestFourActuatorDriveCostMatchesTable9a(t *testing.T) {
+	r, err := DriveCost(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.Low, 165.8, "4-actuator low")
+	approx(t, r.High, 188.2, "4-actuator high")
+}
+
+func TestHeadsDominateParallelDriveCost(t *testing.T) {
+	// The paper: "the bulk of the cost increase ... is expected to be in
+	// the heads."
+	bom, err := BillOfMaterials(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := UnitPrices()
+	headCost := prices[Head].Scale(bom[Head]).Mid()
+	total, _ := DriveCost(4, 4)
+	if headCost/total.Mid() < 0.5 {
+		t.Fatalf("heads are %.0f%% of 4-actuator cost, want majority",
+			100*headCost/total.Mid())
+	}
+}
+
+func TestBOMValidation(t *testing.T) {
+	if _, err := BillOfMaterials(0, 1); err == nil {
+		t.Fatalf("zero platters accepted")
+	}
+	if _, err := BillOfMaterials(4, 0); err == nil {
+		t.Fatalf("zero actuators accepted")
+	}
+	if _, err := DriveCost(-1, 1); err == nil {
+		t.Fatalf("DriveCost accepted bad platters")
+	}
+	if _, err := SystemCost(0, 4, 1); err == nil {
+		t.Fatalf("SystemCost accepted zero drives")
+	}
+	if _, err := SystemCost(1, 0, 1); err == nil {
+		t.Fatalf("SystemCost accepted zero platters")
+	}
+}
+
+func TestMotorDriverInterpolation(t *testing.T) {
+	p3 := motorDriverPrice(3)
+	p2 := motorDriverPrice(2)
+	p4 := motorDriverPrice(4)
+	if !(p3.Low > p2.Low && p3.Low < p4.Low) {
+		t.Fatalf("3-actuator driver price %v not between 2 (%v) and 4 (%v)", p3, p2, p4)
+	}
+}
+
+// Figure 9(b): iso-performance cost comparison.
+func TestIsoPerformanceCostOrdering(t *testing.T) {
+	costs, err := IsoPerformanceCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 3 {
+		t.Fatalf("%d configs", len(costs))
+	}
+	conv4 := costs[0].Mid()  // 4 conventional
+	twoSA2 := costs[1].Mid() // 2 × 2-actuator
+	oneSA4 := costs[2].Mid() // 1 × 4-actuator
+
+	if !(oneSA4 < twoSA2 && twoSA2 < conv4) {
+		t.Fatalf("cost ordering wrong: %v %v %v", conv4, twoSA2, oneSA4)
+	}
+	// Paper: 2×SA(2) is ~27% cheaper, 1×SA(4) ~40% cheaper.
+	save2 := 1 - twoSA2/conv4
+	save4 := 1 - oneSA4/conv4
+	if math.Abs(save2-0.27) > 0.05 {
+		t.Fatalf("2xSA(2) saving %.1f%%, want ~27%%", save2*100)
+	}
+	if math.Abs(save4-0.40) > 0.05 {
+		t.Fatalf("1xSA(4) saving %.1f%%, want ~40%%", save4*100)
+	}
+}
+
+func TestIsoPerformanceConfigLabels(t *testing.T) {
+	cfgs := IsoPerformanceConfigs()
+	if cfgs[0].Drives != 4 || cfgs[0].Actuators != 1 {
+		t.Fatalf("config 0 = %+v", cfgs[0])
+	}
+	if cfgs[2].Drives != 1 || cfgs[2].Actuators != 4 {
+		t.Fatalf("config 2 = %+v", cfgs[2])
+	}
+}

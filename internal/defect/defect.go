@@ -1,0 +1,125 @@
+// Package defect models grown-defect management: sectors that develop
+// media errors after manufacturing are remapped to a reserved spare area
+// at the inner edge of the drive (the classic "grown defect list" +
+// spare-pool scheme). A request touching a remapped sector costs an
+// extra mechanical hop to the spare area, which is why drives with long
+// defect lists get slow — and why SMART watches the reallocation count
+// (see internal/smart's ReallocatedSectors attribute).
+package defect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is a grown-defect list with spare-pool remapping. The zero value
+// is unusable; construct with NewTable.
+type Table struct {
+	userSectors  int64 // addressable space [0, userSectors)
+	spareStart   int64 // first sector of the spare pool
+	spareCount   int64
+	remaps       map[int64]int64 // defective lba -> spare lba
+	nextSpare    int64
+	reallocated  uint64
+	exhaustedAdd uint64
+}
+
+// NewTable builds a defect table for a drive whose total capacity is
+// totalSectors, reserving the last spareSectors of it as the spare pool.
+// Callers expose only [0, totalSectors-spareSectors) as user space.
+func NewTable(totalSectors, spareSectors int64) (*Table, error) {
+	if totalSectors <= 0 {
+		return nil, fmt.Errorf("defect: totalSectors %d must be positive", totalSectors)
+	}
+	if spareSectors <= 0 || spareSectors >= totalSectors {
+		return nil, fmt.Errorf("defect: spareSectors %d outside (0,%d)", spareSectors, totalSectors)
+	}
+	return &Table{
+		userSectors: totalSectors - spareSectors,
+		spareStart:  totalSectors - spareSectors,
+		spareCount:  spareSectors,
+		remaps:      make(map[int64]int64),
+	}, nil
+}
+
+// UserSectors reports the addressable user space.
+func (t *Table) UserSectors() int64 { return t.userSectors }
+
+// Reallocated reports how many sectors have been remapped — the SMART
+// reallocation count.
+func (t *Table) Reallocated() uint64 { return t.reallocated }
+
+// SparesLeft reports the remaining spare capacity.
+func (t *Table) SparesLeft() int64 { return t.spareCount - t.nextSpare }
+
+// Grow marks a user sector defective, assigning it the next spare.
+// It reports an error when the sector is out of range, already remapped,
+// or the spare pool is exhausted (the drive is failing; SMART should
+// have deconfigured it long before).
+func (t *Table) Grow(lba int64) error {
+	if lba < 0 || lba >= t.userSectors {
+		return fmt.Errorf("defect: lba %d outside user space [0,%d)", lba, t.userSectors)
+	}
+	if _, dup := t.remaps[lba]; dup {
+		return fmt.Errorf("defect: lba %d already remapped", lba)
+	}
+	if t.nextSpare >= t.spareCount {
+		t.exhaustedAdd++
+		return fmt.Errorf("defect: spare pool exhausted (%d remaps)", t.reallocated)
+	}
+	t.remaps[lba] = t.spareStart + t.nextSpare
+	t.nextSpare++
+	t.reallocated++
+	return nil
+}
+
+// Resolve maps a user sector to its physical sector: itself when
+// healthy, its spare when remapped.
+func (t *Table) Resolve(lba int64) int64 {
+	if s, ok := t.remaps[lba]; ok {
+		return s
+	}
+	return lba
+}
+
+// Extent is a physically contiguous piece of a logical request.
+type Extent struct {
+	LBA     int64 // physical starting sector
+	Sectors int
+}
+
+// Split decomposes a logical request [lba, lba+sectors) into physically
+// contiguous extents: healthy runs stay in place, each remapped sector
+// becomes its own extent in the spare area. The extent count is what a
+// drive pays extra positioning for.
+func (t *Table) Split(lba int64, sectors int) ([]Extent, error) {
+	if lba < 0 || sectors <= 0 || lba+int64(sectors) > t.userSectors {
+		return nil, fmt.Errorf("defect: request [%d,%d) outside user space [0,%d)",
+			lba, lba+int64(sectors), t.userSectors)
+	}
+	// Fast path: find remapped sectors inside the range.
+	var hits []int64
+	for d := range t.remaps {
+		if d >= lba && d < lba+int64(sectors) {
+			hits = append(hits, d)
+		}
+	}
+	if len(hits) == 0 {
+		return []Extent{{LBA: lba, Sectors: sectors}}, nil
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i] < hits[j] })
+
+	var out []Extent
+	cur := lba
+	for _, d := range hits {
+		if d > cur {
+			out = append(out, Extent{LBA: cur, Sectors: int(d - cur)})
+		}
+		out = append(out, Extent{LBA: t.remaps[d], Sectors: 1})
+		cur = d + 1
+	}
+	if end := lba + int64(sectors); cur < end {
+		out = append(out, Extent{LBA: cur, Sectors: int(end - cur)})
+	}
+	return out, nil
+}

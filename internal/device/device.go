@@ -1,0 +1,24 @@
+// Package device defines the interface storage devices expose to the
+// layers above them (trace replay, RAID controllers, experiment drivers).
+package device
+
+import (
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// Done is invoked when a submitted request completes, with the completion
+// time in simulated milliseconds.
+type Done func(completedAt float64)
+
+// Device is a storage device attached to a simulation engine: a single
+// disk drive, an intra-disk parallel drive, or an array of either.
+type Device interface {
+	// Submit presents a request at the current simulated time. done may
+	// be nil when the caller does not need the completion.
+	Submit(r trace.Request, done Done)
+	// Power reports the average-power breakdown over a run of elapsed ms.
+	Power(elapsedMs float64) power.Breakdown
+	// Capacity reports the device's addressable size in sectors.
+	Capacity() int64
+}

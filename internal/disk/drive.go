@@ -1,0 +1,390 @@
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/defect"
+	"repro/internal/device"
+	"repro/internal/geom"
+	"repro/internal/mech"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/simkit"
+	"repro/internal/trace"
+)
+
+// Options tunes a simulated drive.
+type Options struct {
+	// Sched configures the dispatch queue. The zero value means the
+	// drive's default: SPTF with a 128-request scan window and a 500 ms
+	// anti-starvation age cap.
+	Sched *sched.Config
+	// SeekScale and RotScale multiply each request's seek time and
+	// rotational latency. They implement the paper's Figure 4 limit
+	// study ((1/2)S, (1/4)S, S=0, and the R variants). Zero values mean
+	// 1.0; to model "free" seeks use ZeroedScale.
+	SeekScale, RotScale float64
+	// OnService, when non-nil, observes the mechanical components of
+	// every media access (cache hits are not reported).
+	OnService func(seekMs, rotMs, xferMs float64)
+	// Defects, when non-nil, applies grown-defect remapping: requests
+	// touching remapped sectors split into extra extents that hop to the
+	// spare area, each paying its own positioning. The drive's
+	// addressable space shrinks to Defects.UserSectors().
+	Defects *defect.Table
+
+	// WriteCache enables write-back caching (an extension beyond the
+	// paper, which models enterprise write-through): writes are
+	// acknowledged at cache latency and destaged to the media in the
+	// background, yielding to foreground reads.
+	WriteCache bool
+}
+
+// ZeroedScale is a scale value meaning "exactly zero" — distinguishable
+// from an unset (default 1.0) scale.
+const ZeroedScale = -1
+
+func normalizeScale(s float64) float64 {
+	switch {
+	case s == 0:
+		return 1
+	case s == ZeroedScale:
+		return 0
+	case s < 0:
+		panic(fmt.Sprintf("disk: invalid scale %v", s))
+	default:
+		return s
+	}
+}
+
+// DefaultSchedConfig is the dispatch configuration drives use when the
+// caller does not override it: the paper's SPTF policy, with a bounded
+// scan window and an age cap to prevent starvation under overload.
+func DefaultSchedConfig() sched.Config {
+	return sched.Config{Policy: sched.SPTF, Window: 128, MaxAgeMs: 500}
+}
+
+type pending struct {
+	req   trace.Request
+	done  device.Done
+	loc   geom.Loc // physical location of the first block, cached at submit
+	flush bool     // background destage of a write-back-cached write
+}
+
+// Drive is a conventional single-actuator disk drive attached to a
+// simulation engine.
+type Drive struct {
+	model  Model
+	eng    *simkit.Engine
+	geo    *geom.Geometry
+	curve  *mech.SeekCurve
+	rot    *mech.Rotation
+	buf    *cache.Cache
+	queue  *sched.Queue[pending]
+	flushQ *sched.Queue[pending] // write-back destage queue
+	acct   *power.Accountant
+	pm     *power.Model
+	opts   Options
+
+	armCyl int
+	busy   bool
+
+	completed  uint64
+	cacheHits  uint64
+	flushes    uint64
+	defectHops uint64
+	maxQueue   int
+	seekScale  float64
+	rotScale   float64
+}
+
+var _ device.Device = (*Drive)(nil)
+
+// New attaches a new drive built from model to the engine.
+func New(eng *simkit.Engine, model Model, opts Options) (*Drive, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	geo, err := geom.New(model.Geom)
+	if err != nil {
+		return nil, err
+	}
+	curve, err := mech.NewSeekCurve(model.seekSpec())
+	if err != nil {
+		return nil, err
+	}
+	rot, err := mech.NewRotation(model.RPM)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := cache.New(model.cacheConfig())
+	if err != nil {
+		return nil, err
+	}
+	pm, err := power.NewModel(model.PowerCoeff, model.PowerSpec(1))
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultSchedConfig()
+	if opts.Sched != nil {
+		cfg = *opts.Sched
+	}
+	return &Drive{
+		model:     model,
+		eng:       eng,
+		geo:       geo,
+		curve:     curve,
+		rot:       rot,
+		buf:       buf,
+		queue:     sched.NewQueue[pending](cfg),
+		flushQ:    sched.NewQueue[pending](cfg),
+		acct:      power.NewAccountant(pm),
+		pm:        pm,
+		opts:      opts,
+		seekScale: normalizeScale(opts.SeekScale),
+		rotScale:  normalizeScale(opts.RotScale),
+	}, nil
+}
+
+// Model returns the drive's static model.
+func (d *Drive) Model() Model { return d.model }
+
+// Geometry returns the drive's derived geometry.
+func (d *Drive) Geometry() *geom.Geometry { return d.geo }
+
+// Capacity reports the drive's addressable size in sectors (excluding
+// the spare pool when a defect table is configured).
+func (d *Drive) Capacity() int64 {
+	if d.opts.Defects != nil {
+		return d.opts.Defects.UserSectors()
+	}
+	return d.geo.TotalSectors()
+}
+
+// DefectHops reports how many requests needed extra extents because of
+// grown-defect remapping.
+func (d *Drive) DefectHops() uint64 { return d.defectHops }
+
+// Completed reports how many requests have finished.
+func (d *Drive) Completed() uint64 { return d.completed }
+
+// CacheHits reports how many reads were served from the buffer.
+func (d *Drive) CacheHits() uint64 { return d.cacheHits }
+
+// MaxQueue reports the dispatch queue's high-water mark.
+func (d *Drive) MaxQueue() int { return d.maxQueue }
+
+// QueueLen reports the current dispatch queue length.
+func (d *Drive) QueueLen() int { return d.queue.Len() }
+
+// Busy reports whether the drive is servicing a request.
+func (d *Drive) Busy() bool { return d.busy }
+
+// Flushes reports how many write-back destages have hit the media.
+func (d *Drive) Flushes() uint64 { return d.flushes }
+
+// DirtyWrites reports how many destages are still pending.
+func (d *Drive) DirtyWrites() int { return d.flushQ.Len() }
+
+// Power reports the drive's average-power breakdown over elapsed ms.
+func (d *Drive) Power(elapsedMs float64) power.Breakdown {
+	return d.acct.Breakdown(elapsedMs)
+}
+
+// PowerModel exposes the drive's power model (for peak-power reporting).
+func (d *Drive) PowerModel() *power.Model { return d.pm }
+
+// Submit presents a request at the current simulated time. Requests
+// beyond the drive's capacity panic: address validation belongs to the
+// layers above, and an out-of-range block here is a simulator bug.
+func (d *Drive) Submit(r trace.Request, done device.Done) {
+	if r.End() > d.geo.TotalSectors() {
+		panic(fmt.Sprintf("disk: %s: request [%d,%d) beyond capacity %d",
+			d.model.Name, r.LBA, r.End(), d.geo.TotalSectors()))
+	}
+	now := d.eng.Now()
+	if r.Read && d.buf.Lookup(r.LBA, r.Sectors) {
+		d.cacheHits++
+		d.eng.After(d.model.CacheHitMs, func() {
+			d.completed++
+			if done != nil {
+				done(d.eng.Now())
+			}
+		})
+		return
+	}
+	if d.opts.Defects != nil {
+		exts, err := d.opts.Defects.Split(r.LBA, r.Sectors)
+		if err != nil {
+			panic(fmt.Sprintf("disk: %s: %v", d.model.Name, err))
+		}
+		if len(exts) > 1 {
+			// The request fragments around remapped sectors: service every
+			// extent mechanically and complete when the last one lands.
+			// (Firmware caches logically; this model skips cache insertion
+			// for fragmented requests — a read of the exact range will
+			// fragment again, which is the behavior defects actually cost.)
+			d.defectHops++
+			outstanding := len(exts)
+			var last float64
+			for _, e := range exts {
+				sub := pending{
+					req: trace.Request{LBA: e.LBA, Sectors: e.Sectors, Read: r.Read},
+					loc: d.geo.Locate(e.LBA),
+					done: func(at float64) {
+						if at > last {
+							last = at
+						}
+						outstanding--
+						if outstanding == 0 && done != nil {
+							done(last)
+						}
+					},
+				}
+				d.queue.Push(sub, now)
+			}
+			if d.queue.Len() > d.maxQueue {
+				d.maxQueue = d.queue.Len()
+			}
+			d.trySchedule()
+			return
+		}
+	}
+	if !r.Read && d.opts.WriteCache {
+		// Write-back: acknowledge at cache latency, destage later.
+		d.buf.InsertWrite(r.LBA, r.Sectors)
+		d.eng.After(d.model.CacheHitMs, func() {
+			d.completed++
+			if done != nil {
+				done(d.eng.Now())
+			}
+		})
+		d.flushQ.Push(pending{req: r, loc: d.geo.Locate(r.LBA), flush: true}, now)
+		d.trySchedule()
+		return
+	}
+	d.queue.Push(pending{req: r, done: done, loc: d.geo.Locate(r.LBA)}, now)
+	if d.queue.Len() > d.maxQueue {
+		d.maxQueue = d.queue.Len()
+	}
+	d.trySchedule()
+}
+
+// positioning computes the mechanical positioning cost of starting
+// service at the given location at time `at` from the current arm
+// position.
+func (d *Drive) positioning(loc geom.Loc, at float64) (seekMs, rotMs float64) {
+	dist := d.armCyl - loc.Cyl
+	seekMs = d.curve.Time(dist) * d.seekScale
+	atTrack := at + d.model.ControllerOverheadMs + seekMs
+	rotMs = d.rot.LatencyTo(loc.Angle, atTrack) * d.rotScale
+	return seekMs, rotMs
+}
+
+// transferTime walks the request across tracks and zones, accumulating
+// media transfer time plus track-switch overheads.
+func (d *Drive) transferTime(lba int64, sectors int) float64 {
+	t := 0.0
+	cur := lba
+	remaining := sectors
+	for remaining > 0 {
+		l := d.geo.Locate(cur)
+		onTrack := l.SPT - l.Sector
+		if onTrack > remaining {
+			onTrack = remaining
+		}
+		t += d.rot.TransferTime(onTrack, l.SPT)
+		remaining -= onTrack
+		cur += int64(onTrack)
+		if remaining > 0 {
+			t += d.model.TrackSwitchMs
+		}
+	}
+	return t
+}
+
+// trySchedule dispatches the next queued request if the drive is free.
+func (d *Drive) trySchedule() {
+	if d.busy || (d.queue.Len() == 0 && d.flushQ.Len() == 0) {
+		return
+	}
+	now := d.eng.Now()
+	cost := d.dispatchCost(now)
+	p, ok := d.queue.Pop(now, cost)
+	if !ok {
+		// Foreground queue empty: destage dirty writes in the background.
+		if p, ok = d.flushQ.Pop(now, cost); !ok {
+			return
+		}
+	}
+	d.busy = true
+	seekMs, rotMs := d.positioning(p.loc, now)
+	xferMs := d.transferTime(p.req.LBA, p.req.Sectors)
+	serviceEnd := now + d.model.ControllerOverheadMs + seekMs + rotMs + xferMs
+
+	d.acct.AddSeek(seekMs, 1)
+	d.acct.Add(power.RotLatency, rotMs)
+	d.acct.Add(power.Transfer, xferMs)
+	if d.opts.OnService != nil {
+		d.opts.OnService(seekMs, rotMs, xferMs)
+	}
+	d.armCyl = p.loc.Cyl
+
+	d.eng.At(serviceEnd, func() {
+		d.busy = false
+		switch {
+		case p.flush:
+			// Destage: the logical write already completed at ack time
+			// and the data is already in the cache.
+			d.flushes++
+		case p.req.Read:
+			d.completed++
+			d.buf.InsertRead(p.req.LBA, p.req.Sectors)
+		default:
+			d.completed++
+			d.buf.InsertWrite(p.req.LBA, p.req.Sectors)
+		}
+		if p.done != nil {
+			p.done(d.eng.Now())
+		}
+		d.trySchedule()
+	})
+}
+
+// dispatchCost builds the scheduler cost function for dispatch at `now`.
+func (d *Drive) dispatchCost(now float64) func(pending) float64 {
+	switch d.queue.Config().Policy {
+	case sched.FCFS:
+		return nil
+	case sched.SSTF:
+		return func(p pending) float64 {
+			dist := d.armCyl - p.loc.Cyl
+			if dist < 0 {
+				dist = -dist
+			}
+			return float64(dist)
+		}
+	case sched.CLOOK:
+		// Circular elevator: requests at or above the arm are served in
+		// ascending order; requests below it sort after a full wrap.
+		span := float64(d.geo.Cylinders())
+		return func(p pending) float64 {
+			delta := float64(p.loc.Cyl - d.armCyl)
+			if delta < 0 {
+				delta += span
+			}
+			return delta
+		}
+	default: // SPTF
+		return func(p pending) float64 {
+			seekMs, rotMs := d.positioning(p.loc, now)
+			return seekMs + rotMs
+		}
+	}
+}
+
+// Drain runs the engine until every submitted request has completed.
+func (d *Drive) Drain() {
+	d.eng.Run()
+}

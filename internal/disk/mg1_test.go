@@ -1,0 +1,81 @@
+package disk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/simkit"
+	"repro/internal/trace"
+)
+
+// Analytic cross-validation: an FCFS drive fed Poisson arrivals is an
+// M/G/1 queue, so its mean waiting time must match the
+// Pollaczek–Khinchine formula computed from the measured service-time
+// moments:
+//
+//	E[W] = λ E[S²] / (2 (1 − ρ)),  ρ = λ E[S]
+//
+// This pins the whole simulator (arrival handling, busy-period logic,
+// clock arithmetic) against queueing theory rather than against itself.
+func TestMG1PollaczekKhinchine(t *testing.T) {
+	m := smallModel()
+	m.CacheBytes = 0 // every request hits the media: clean service times
+	m.CacheSegments = 0
+	cfg := sched.Config{Policy: sched.FCFS}
+
+	eng := simkit.New()
+	var sSum, s2Sum float64
+	var services int
+	d, err := New(eng, m, Options{
+		Sched: &cfg,
+		OnService: func(seek, rot, xfer float64) {
+			s := m.ControllerOverheadMs + seek + rot + xfer
+			sSum += s
+			s2Sum += s * s
+			services++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		n      = 30000
+		meanIA = 14.0 // ms; keeps utilization near 0.6
+	)
+	rng := rand.New(rand.NewSource(99))
+	var waitSum float64
+	arrival := 0.0
+	for i := 0; i < n; i++ {
+		arrival += rng.ExpFloat64() * meanIA
+		at := arrival
+		lba := rng.Int63n(d.Capacity() - 8)
+		eng.At(at, func() {
+			d.Submit(trace.Request{LBA: lba, Sectors: 1, Read: false},
+				func(done float64) { waitSum += done - at })
+		})
+	}
+	eng.Run()
+
+	if services != n {
+		t.Fatalf("%d media services for %d requests", services, n)
+	}
+	eS := sSum / float64(n)
+	eS2 := s2Sum / float64(n)
+	lambda := 1 / meanIA
+	rho := lambda * eS
+	if rho >= 0.95 {
+		t.Fatalf("utilization %v too close to saturation for the check", rho)
+	}
+	pkWait := lambda * eS2 / (2 * (1 - rho))
+	measuredWait := waitSum/float64(n) - eS
+
+	// FCFS service times here are weakly dependent on queue state (the
+	// arm position couples consecutive services), so allow 15%.
+	if rel := math.Abs(measuredWait-pkWait) / pkWait; rel > 0.15 {
+		t.Fatalf("M/G/1 check failed: measured wait %.3f ms vs P-K %.3f ms (ρ=%.2f, rel err %.1f%%)",
+			measuredWait, pkWait, rho, rel*100)
+	}
+}

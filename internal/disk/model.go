@@ -1,0 +1,182 @@
+// Package disk implements a conventional (single-actuator) hard disk
+// drive at DiskSim's level of detail: zoned geometry, a fitted seek
+// curve, a continuously rotating spindle, an on-board segmented cache,
+// queue scheduling, and per-mode power accounting. It also carries the
+// named drive models the paper's experiments use.
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/geom"
+	"repro/internal/mech"
+	"repro/internal/power"
+)
+
+// Model is the full static description of a drive product: everything
+// needed to instantiate a simulated drive.
+type Model struct {
+	Name       string
+	Geom       geom.Spec
+	RPM        float64
+	DiameterIn float64
+
+	// Seek curve datasheet points (MaxCyl comes from Geom).
+	SingleCylMs  float64
+	AvgSeekMs    float64
+	FullStrokeMs float64
+
+	// On-board cache.
+	CacheBytes       int64
+	CacheSegments    int
+	ReadAheadSectors int
+
+	// Fixed overheads.
+	ControllerOverheadMs float64 // command processing before mechanics
+	CacheHitMs           float64 // full service time of a cache hit
+	TrackSwitchMs        float64 // head/cylinder switch mid-transfer
+
+	PowerCoeff power.Coefficients
+}
+
+// Validate reports the first problem with the model, if any.
+func (m Model) Validate() error {
+	if err := m.Geom.Validate(); err != nil {
+		return err
+	}
+	if err := m.seekSpec().Validate(); err != nil {
+		return err
+	}
+	switch {
+	case m.RPM <= 0:
+		return fmt.Errorf("disk: %s: RPM must be positive", m.Name)
+	case m.DiameterIn <= 0:
+		return fmt.Errorf("disk: %s: DiameterIn must be positive", m.Name)
+	case m.CacheBytes < 0:
+		return fmt.Errorf("disk: %s: CacheBytes must be nonnegative", m.Name)
+	case m.ControllerOverheadMs < 0 || m.CacheHitMs < 0 || m.TrackSwitchMs < 0:
+		return fmt.Errorf("disk: %s: overheads must be nonnegative", m.Name)
+	}
+	return nil
+}
+
+func (m Model) seekSpec() mech.SeekSpec {
+	return mech.SeekSpec{
+		SingleCylMs:  m.SingleCylMs,
+		AvgMs:        m.AvgSeekMs,
+		FullStrokeMs: m.FullStrokeMs,
+		MaxCyl:       m.Geom.Cylinders - 1,
+	}
+}
+
+func (m Model) cacheConfig() cache.Config {
+	return cache.Config{
+		SizeBytes:        m.CacheBytes,
+		SectorBytes:      m.Geom.SectorBytes,
+		Segments:         m.CacheSegments,
+		ReadAheadSectors: m.ReadAheadSectors,
+	}
+}
+
+// PowerSpec derives the power-model drive parameters for a drive built
+// from this model with the given actuator count.
+func (m Model) PowerSpec(actuators int) power.DriveSpec {
+	return power.DriveSpec{
+		Platters:   m.Geom.Platters,
+		DiameterIn: m.DiameterIn,
+		RPM:        m.RPM,
+		Actuators:  actuators,
+	}
+}
+
+// WithRPM returns a copy of the model redesigned for a different spindle
+// speed — the paper's §7.2 reduced-RPM design points. Geometry, seek
+// curve and cache are unchanged; rotation period and power both follow
+// the new RPM.
+func (m Model) WithRPM(rpm float64) Model {
+	m.RPM = rpm
+	m.Name = fmt.Sprintf("%s/%d", m.Name, int(rpm))
+	return m
+}
+
+// BarracudaES returns the paper's HC-SD drive: a Seagate Barracuda
+// ES-class 750 GB, 4-platter, 7200 RPM SATA drive with an 8 MB buffer
+// (the paper's §7.1 configuration).
+func BarracudaES() Model {
+	return Model{
+		Name: "Barracuda-ES-750",
+		Geom: geom.Spec{
+			Name:     "barracuda-es-750",
+			Platters: 4, SurfacesPerPlatter: 2,
+			Cylinders: 159000, Zones: 16,
+			OuterSPT: 1430, InnerSPT: 870,
+			SectorBytes: 512, TrackSkew: 120, CylinderSkew: 180,
+		},
+		RPM: 7200, DiameterIn: 3.7,
+		SingleCylMs: 0.8, AvgSeekMs: 8.5, FullStrokeMs: 17.0,
+		CacheBytes: 8 << 20, CacheSegments: 16, ReadAheadSectors: 256,
+		ControllerOverheadMs: 0.3, CacheHitMs: 0.2, TrackSwitchMs: 0.8,
+		PowerCoeff: power.Default(),
+	}
+}
+
+// Drive10K18GB returns the 18/19 GB 10,000 RPM 4-platter enterprise
+// drive the Financial and Websearch arrays were built from (Table 2).
+func Drive10K18GB() Model {
+	return Model{
+		Name: "Enterprise-10K-19GB",
+		Geom: geom.Spec{
+			Name:     "ent-10k-19",
+			Platters: 4, SurfacesPerPlatter: 2,
+			Cylinders: 9300, Zones: 8,
+			OuterSPT: 600, InnerSPT: 400,
+			SectorBytes: 512, TrackSkew: 60, CylinderSkew: 90,
+		},
+		RPM: 10000, DiameterIn: 3.0,
+		SingleCylMs: 0.6, AvgSeekMs: 4.7, FullStrokeMs: 10.5,
+		CacheBytes: 4 << 20, CacheSegments: 16, ReadAheadSectors: 128,
+		ControllerOverheadMs: 0.3, CacheHitMs: 0.2, TrackSwitchMs: 0.6,
+		PowerCoeff: power.Default(),
+	}
+}
+
+// Drive10K37GB returns the 37 GB 10,000 RPM 4-platter drive of the
+// TPC-C array (Table 2).
+func Drive10K37GB() Model {
+	return Model{
+		Name: "Enterprise-10K-37GB",
+		Geom: geom.Spec{
+			Name:     "ent-10k-37",
+			Platters: 4, SurfacesPerPlatter: 2,
+			Cylinders: 15100, Zones: 8,
+			OuterSPT: 720, InnerSPT: 480,
+			SectorBytes: 512, TrackSkew: 70, CylinderSkew: 110,
+		},
+		RPM: 10000, DiameterIn: 3.0,
+		SingleCylMs: 0.6, AvgSeekMs: 4.9, FullStrokeMs: 10.8,
+		CacheBytes: 4 << 20, CacheSegments: 16, ReadAheadSectors: 128,
+		ControllerOverheadMs: 0.3, CacheHitMs: 0.2, TrackSwitchMs: 0.6,
+		PowerCoeff: power.Default(),
+	}
+}
+
+// Drive7200x36GB returns the 36 GB 7200 RPM 6-platter drive of the
+// TPC-H array (Table 2).
+func Drive7200x36GB() Model {
+	return Model{
+		Name: "Server-7200-36GB",
+		Geom: geom.Spec{
+			Name:     "srv-7200-36",
+			Platters: 6, SurfacesPerPlatter: 2,
+			Cylinders: 10500, Zones: 8,
+			OuterSPT: 670, InnerSPT: 450,
+			SectorBytes: 512, TrackSkew: 60, CylinderSkew: 100,
+		},
+		RPM: 7200, DiameterIn: 3.5,
+		SingleCylMs: 0.8, AvgSeekMs: 8.5, FullStrokeMs: 16.0,
+		CacheBytes: 4 << 20, CacheSegments: 16, ReadAheadSectors: 128,
+		ControllerOverheadMs: 0.3, CacheHitMs: 0.2, TrackSwitchMs: 0.8,
+		PowerCoeff: power.Default(),
+	}
+}

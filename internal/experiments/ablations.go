@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/sched"
+	"repro/internal/simkit"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Ablations isolate the design choices the reproduction depends on:
+// the disk scheduler, the on-board cache size (the paper's §7.1 "64 MB
+// changes nothing" check), the relaxed parallel designs from the
+// technical report, and the diagonal angular mounting of the arm
+// assemblies (which this implementation found to be the load-bearing
+// mechanism behind the rotational-latency reduction).
+
+// prepHCSDTrace synthesizes a workload and remaps it onto the HC-SD.
+func prepHCSDTrace(spec trace.WorkloadSpec, cfg Config) (trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return HCSDTrace(spec, tr)
+}
+
+// runHCSD replays a prepared trace on an HC-SD built with opts.
+func runHCSD(label string, tr trace.Trace, model disk.Model, opts disk.Options) (*Run, error) {
+	eng := simkit.New()
+	d, err := disk.New(eng, model, opts)
+	if err != nil {
+		return nil, err
+	}
+	resp := Replay(eng, d, tr)
+	return &Run{
+		Label:     label,
+		Resp:      resp,
+		RotLat:    &stats.Sample{},
+		Power:     d.Power(eng.Now()),
+		ElapsedMs: eng.Now(),
+		Completed: uint64(resp.Count()),
+	}, nil
+}
+
+// SchedulerAblation runs the HC-SD under FCFS, SSTF, C-LOOK and SPTF.
+// The paper uses SPTF (§7.2); this quantifies how much that choice buys.
+func SchedulerAblation(spec trace.WorkloadSpec, cfg Config) ([]Run, error) {
+	tr, err := prepHCSDTrace(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []Run
+	for _, p := range []sched.Policy{sched.FCFS, sched.SSTF, sched.CLOOK, sched.SPTF} {
+		scfg := disk.DefaultSchedConfig()
+		scfg.Policy = p
+		r, err := runHCSD(p.String(), tr, disk.BarracudaES(), disk.Options{Sched: &scfg})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// CacheAblation reruns the HC-SD with its stock 8 MB buffer and with the
+// paper's 64 MB what-if (§7.1 found the larger cache changes little for
+// the random-I/O workloads).
+func CacheAblation(spec trace.WorkloadSpec, cfg Config) ([]Run, error) {
+	tr, err := prepHCSDTrace(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []Run
+	for _, mb := range []int64{8, 64} {
+		model := disk.BarracudaES()
+		model.CacheBytes = mb << 20
+		r, err := runHCSD(fmt.Sprintf("%dMB cache", mb), tr, model, disk.Options{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// RelaxedDesignAblation compares the paper's base HC-SD-SA(n) against
+// the two relaxed designs of the technical report: multiple arms in
+// motion, and multiple concurrent data channels.
+func RelaxedDesignAblation(spec trace.WorkloadSpec, cfg Config, actuators int) ([]Run, error) {
+	tr, err := prepHCSDTrace(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		label string
+		ccfg  core.Config
+	}{
+		{fmt.Sprintf("SA(%d) base", actuators), core.Config{Actuators: actuators}},
+		{fmt.Sprintf("SA(%d)+multi-arm", actuators), core.Config{Actuators: actuators, MultiArmMotion: true}},
+		{fmt.Sprintf("SA(%d)+%d-channel", actuators, actuators), core.Config{Actuators: actuators, Channels: actuators}},
+	}
+	var out []Run
+	for _, c := range cases {
+		r, err := runSA(c.label, tr, c.ccfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// PlacementAblation compares the diagonal (evenly spread) angular
+// mounting of the arm assemblies against co-located mounting (all arms
+// at the same angular position). With co-located arms a longer seek is
+// exactly repaid by a shorter rotational wait, so extra actuators buy
+// almost nothing — the spread mounting is what shortens rotational
+// latency (the paper's Figure 1 draws the assemblies diagonally).
+func PlacementAblation(spec trace.WorkloadSpec, cfg Config, actuators int) (spread, colocated Run, err error) {
+	tr, err := prepHCSDTrace(spec, cfg)
+	if err != nil {
+		return Run{}, Run{}, err
+	}
+	s, err := runSA(fmt.Sprintf("SA(%d) diagonal", actuators), tr, core.Config{Actuators: actuators})
+	if err != nil {
+		return Run{}, Run{}, err
+	}
+	zero := make([]float64, actuators)
+	c, err := runSA(fmt.Sprintf("SA(%d) co-located", actuators), tr, core.Config{
+		Actuators:      actuators,
+		AngularOffsets: zero,
+	})
+	if err != nil {
+		return Run{}, Run{}, err
+	}
+	return *s, *c, nil
+}
+
+// runSA replays a prepared trace on a parallel drive built with ccfg.
+func runSA(label string, tr trace.Trace, ccfg core.Config) (*Run, error) {
+	eng := simkit.New()
+	rot := &stats.Sample{}
+	prev := ccfg.OnService
+	ccfg.OnService = func(s, r, x float64) {
+		rot.Add(r)
+		if prev != nil {
+			prev(s, r, x)
+		}
+	}
+	d, err := core.New(eng, disk.BarracudaES(), ccfg)
+	if err != nil {
+		return nil, err
+	}
+	resp := Replay(eng, d, tr)
+	return &Run{
+		Label:     label,
+		Resp:      resp,
+		RotLat:    rot,
+		Power:     d.Power(eng.Now()),
+		ElapsedMs: eng.Now(),
+		Completed: uint64(resp.Count()),
+	}, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSchedulerAblationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	runs, err := SchedulerAblation(trace.Websearch(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("%d runs", len(runs))
+	}
+	means := map[string]float64{}
+	for _, r := range runs {
+		means[r.Label] = r.Resp.Mean()
+	}
+	// SPTF (the paper's policy) should beat FCFS, and position-aware
+	// policies generally beat FCFS.
+	if means["SPTF"] >= means["FCFS"] {
+		t.Errorf("SPTF mean %.2f not below FCFS %.2f", means["SPTF"], means["FCFS"])
+	}
+	if means["SSTF"] >= means["FCFS"] {
+		t.Errorf("SSTF mean %.2f not below FCFS %.2f", means["SSTF"], means["FCFS"])
+	}
+}
+
+func TestCacheAblationNegligible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// §7.1: for the random-I/O workloads an 8x larger cache changes
+	// little, because the footprints dwarf any plausible buffer.
+	runs, err := CacheAblation(trace.Websearch(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := runs[0].Resp.Mean()
+	large := runs[1].Resp.Mean()
+	if rel := (small - large) / small; rel > 0.15 {
+		t.Errorf("64MB cache improved mean response by %.0f%%, paper says negligible", rel*100)
+	}
+}
+
+func TestRelaxedDesignAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	runs, err := RelaxedDesignAblation(trace.TPCC(), testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("%d runs", len(runs))
+	}
+	base := runs[0].Resp.Mean()
+	multiArm := runs[1].Resp.Mean()
+	multiChan := runs[2].Resp.Mean()
+	// The paper's technical report: the relaxations provide little
+	// benefit over the base design. Multi-channel can help under load,
+	// but neither should be dramatically worse than base.
+	if multiArm > base*1.15 {
+		t.Errorf("multi-arm motion regressed: %.2f vs base %.2f", multiArm, base)
+	}
+	if multiChan > base*1.15 {
+		t.Errorf("multi-channel regressed: %.2f vs base %.2f", multiChan, base)
+	}
+	// And all three must complete the full workload.
+	for _, r := range runs {
+		if int(r.Completed) != testConfig().Requests {
+			t.Errorf("%s completed %d of %d", r.Label, r.Completed, testConfig().Requests)
+		}
+	}
+}
+
+func TestPlacementAblationDiagonalWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	spread, colocated, err := PlacementAblation(trace.Websearch(), testConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal mounting must cut mean rotational latency well below the
+	// co-located configuration — it is the mechanism behind Figure 5.
+	if spread.RotLat.Mean() >= colocated.RotLat.Mean()*0.85 {
+		t.Errorf("diagonal rot latency %.2f not well below co-located %.2f",
+			spread.RotLat.Mean(), colocated.RotLat.Mean())
+	}
+	if spread.Resp.Mean() >= colocated.Resp.Mean() {
+		t.Errorf("diagonal mean response %.2f not below co-located %.2f",
+			spread.Resp.Mean(), colocated.Resp.Mean())
+	}
+}

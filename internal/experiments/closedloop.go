@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/simkit"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ReplayClosed drives a device with a closed-loop client population: each
+// of `clients` streams issues its next request thinkMs after its previous
+// one completes. This is how batch workloads such as the TPC-H power test
+// (22 queries executed consecutively) load a storage system — throughput
+// self-limits instead of queueing unboundedly, which is why TPC-H
+// survives the MD→HC-SD migration.
+//
+// gen produces the i-th request of a client's stream; its ArrivalMs is
+// ignored. The returned sample holds per-request response times.
+func ReplayClosed(eng *simkit.Engine, dev device.Device, clients, totalRequests int,
+	thinkMs float64, gen func(client, seq int) trace.Request) (*stats.Sample, error) {
+	if clients <= 0 {
+		return nil, fmt.Errorf("experiments: clients %d must be positive", clients)
+	}
+	if totalRequests <= 0 {
+		return nil, fmt.Errorf("experiments: totalRequests %d must be positive", totalRequests)
+	}
+	if thinkMs < 0 {
+		return nil, fmt.Errorf("experiments: thinkMs %v must be nonnegative", thinkMs)
+	}
+	if gen == nil {
+		return nil, fmt.Errorf("experiments: gen must not be nil")
+	}
+
+	resp := &stats.Sample{}
+	issued := 0
+	var issue func(client int)
+	issue = func(client int) {
+		if issued >= totalRequests {
+			return
+		}
+		seq := issued
+		issued++
+		r := gen(client, seq)
+		start := eng.Now()
+		dev.Submit(r, func(at float64) {
+			resp.Add(at - start)
+			if thinkMs > 0 {
+				eng.After(thinkMs, func() { issue(client) })
+			} else {
+				issue(client)
+			}
+		})
+	}
+	for c := 0; c < clients; c++ {
+		c := c
+		eng.At(eng.Now(), func() { issue(c) })
+	}
+	eng.Run()
+	return resp, nil
+}

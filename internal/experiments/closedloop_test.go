@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/simkit"
+	"repro/internal/trace"
+)
+
+func smallDrive(t *testing.T, eng *simkit.Engine) *disk.Drive {
+	t.Helper()
+	m := disk.BarracudaES()
+	m.Name = "closed-test"
+	m.Geom.Cylinders = 2000
+	m.Geom.Zones = 4
+	m.Geom.OuterSPT = 300
+	m.Geom.InnerSPT = 200
+	d, err := disk.New(eng, m, disk.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestReplayClosedValidation(t *testing.T) {
+	eng := simkit.New()
+	d := smallDrive(t, eng)
+	gen := func(c, s int) trace.Request { return trace.Request{LBA: 0, Sectors: 8} }
+	if _, err := ReplayClosed(eng, d, 0, 10, 0, gen); err == nil {
+		t.Fatalf("zero clients accepted")
+	}
+	if _, err := ReplayClosed(eng, d, 1, 0, 0, gen); err == nil {
+		t.Fatalf("zero requests accepted")
+	}
+	if _, err := ReplayClosed(eng, d, 1, 10, -1, gen); err == nil {
+		t.Fatalf("negative think time accepted")
+	}
+	if _, err := ReplayClosed(eng, d, 1, 10, 0, nil); err == nil {
+		t.Fatalf("nil generator accepted")
+	}
+}
+
+func TestReplayClosedCompletesExactly(t *testing.T) {
+	eng := simkit.New()
+	d := smallDrive(t, eng)
+	rng := rand.New(rand.NewSource(1))
+	resp, err := ReplayClosed(eng, d, 4, 500, 1, func(c, s int) trace.Request {
+		return trace.Request{LBA: rng.Int63n(d.Capacity() - 64), Sectors: 8, Read: s%2 == 0}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count() != 500 {
+		t.Fatalf("completed %d of 500", resp.Count())
+	}
+}
+
+func TestReplayClosedSelfLimits(t *testing.T) {
+	// A single client can never queue behind itself: the drive's queue
+	// high-water mark stays at 1 and responses stay near raw service
+	// time regardless of how slow the device is.
+	eng := simkit.New()
+	d := smallDrive(t, eng)
+	rng := rand.New(rand.NewSource(2))
+	resp, err := ReplayClosed(eng, d, 1, 300, 0, func(c, s int) trace.Request {
+		return trace.Request{LBA: rng.Int63n(d.Capacity() - 64), Sectors: 8, Read: false}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxQueue() > 1 {
+		t.Fatalf("single closed-loop client queued %d deep", d.MaxQueue())
+	}
+	// Worst-case raw service on this model is ~overhead + full stroke +
+	// a revolution ≈ 26 ms; anything above that means queueing leaked in.
+	if resp.Percentile(99) > 26 {
+		t.Fatalf("closed-loop p99 %v: queueing leaked in", resp.Percentile(99))
+	}
+}
+
+func TestReplayClosedMoreClientsMoreLoad(t *testing.T) {
+	run := func(clients int) float64 {
+		eng := simkit.New()
+		d := smallDrive(t, eng)
+		rng := rand.New(rand.NewSource(3))
+		resp, err := ReplayClosed(eng, d, clients, 400, 0, func(c, s int) trace.Request {
+			return trace.Request{LBA: rng.Int63n(d.Capacity() - 64), Sectors: 8, Read: false}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Mean()
+	}
+	one := run(1)
+	eight := run(8)
+	if eight <= one {
+		t.Fatalf("8 clients mean %v not above 1 client %v", eight, one)
+	}
+}
+
+func TestReplayClosedThinkTimeReducesLoad(t *testing.T) {
+	run := func(thinkMs float64) float64 {
+		eng := simkit.New()
+		d := smallDrive(t, eng)
+		rng := rand.New(rand.NewSource(4))
+		resp, err := ReplayClosed(eng, d, 8, 400, thinkMs, func(c, s int) trace.Request {
+			return trace.Request{LBA: rng.Int63n(d.Capacity() - 64), Sectors: 8, Read: false}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Mean()
+	}
+	busy := run(0)
+	relaxed := run(50)
+	if relaxed >= busy {
+		t.Fatalf("think time did not reduce mean response: %v vs %v", relaxed, busy)
+	}
+}

@@ -1,0 +1,408 @@
+// Package experiments implements one driver per table and figure of the
+// paper's evaluation. Each driver builds the storage systems under test
+// (MD arrays, the HC-SD high-capacity drive, HC-SD-SA(n) intra-disk
+// parallel drives, RAID arrays of each), replays the workload, and
+// returns the same quantities the paper plots. cmd/idpbench and the
+// repository-level benchmarks are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/disk"
+	"repro/internal/power"
+	"repro/internal/raid"
+	"repro/internal/simkit"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config scales the experiments. The paper replays 4-6 million requests
+// per trace; the default here is large enough to reproduce every trend
+// while keeping a full regeneration of all figures in the minutes range.
+type Config struct {
+	Requests int   // requests per workload replay
+	Seed     int64 // RNG seed for workload synthesis
+}
+
+// DefaultConfig returns the standard experiment scale.
+func DefaultConfig() Config { return Config{Requests: 150000, Seed: 1} }
+
+// Validate reports the first problem with the config, if any.
+func (c Config) Validate() error {
+	if c.Requests <= 0 {
+		return fmt.Errorf("experiments: Requests must be positive")
+	}
+	return nil
+}
+
+// Run holds everything measured about one system under one workload.
+type Run struct {
+	Label     string
+	Resp      *stats.Sample // per-request response times, ms
+	RotLat    *stats.Sample // per-media-access rotational latencies, ms
+	Power     power.Breakdown
+	ElapsedMs float64
+	Completed uint64
+}
+
+// ResponseCDF evaluates the run's response-time CDF over the paper's
+// bucket edges.
+func (r *Run) ResponseCDF() []float64 { return r.Resp.ResponseCDF() }
+
+// Replay submits every request of the trace at its arrival time and runs
+// the simulation to completion, returning the response-time sample.
+func Replay(eng *simkit.Engine, dev device.Device, tr trace.Trace) *stats.Sample {
+	resp := &stats.Sample{}
+	for _, r := range tr {
+		r := r
+		eng.At(r.ArrivalMs, func() {
+			dev.Submit(r, func(at float64) { resp.Add(at - r.ArrivalMs) })
+		})
+	}
+	eng.Run()
+	return resp
+}
+
+// MDDriveModel returns the member-drive model of a workload's original
+// array (Table 2): the Financial and Websearch arrays used 19 GB 10K
+// drives, TPC-C 37 GB 10K drives, and TPC-H 36 GB 7200 RPM drives.
+func MDDriveModel(spec trace.WorkloadSpec) (disk.Model, error) {
+	switch spec.Name {
+	case "Financial", "Websearch":
+		return disk.Drive10K18GB(), nil
+	case "TPC-C":
+		return disk.Drive10K37GB(), nil
+	case "TPC-H":
+		return disk.Drive7200x36GB(), nil
+	}
+	return disk.Model{}, fmt.Errorf("experiments: no MD drive model for workload %q", spec.Name)
+}
+
+// MDSystem is the paper's MD configuration: the original multi-disk
+// array, with each traced request routed to the disk it was traced
+// against.
+type MDSystem struct {
+	Router *raid.RouteByDisk
+	Drives []*disk.Drive
+}
+
+// NewMDSystem builds the MD array for a workload on the engine.
+func NewMDSystem(eng *simkit.Engine, spec trace.WorkloadSpec) (*MDSystem, error) {
+	model, err := MDDriveModel(spec)
+	if err != nil {
+		return nil, err
+	}
+	drives := make([]*disk.Drive, spec.Disks)
+	members := make([]device.Device, spec.Disks)
+	for i := range drives {
+		d, err := disk.New(eng, model, disk.Options{})
+		if err != nil {
+			return nil, err
+		}
+		drives[i] = d
+		members[i] = d
+	}
+	router, err := raid.NewRouteByDisk(members)
+	if err != nil {
+		return nil, err
+	}
+	return &MDSystem{Router: router, Drives: drives}, nil
+}
+
+// Offsets reports each member's starting address in the HC-SD layout:
+// the paper's migration sequentially populates the high-capacity drive
+// with each MD disk's data in disk order.
+func (m *MDSystem) Offsets() []int64 {
+	offsets := make([]int64, len(m.Drives))
+	var cum int64
+	for i, d := range m.Drives {
+		offsets[i] = cum
+		cum += d.Capacity()
+	}
+	return offsets
+}
+
+// HCSDTrace remaps a workload trace from the MD address space onto the
+// single high-capacity drive.
+func HCSDTrace(spec trace.WorkloadSpec, tr trace.Trace) (trace.Trace, error) {
+	model, err := MDDriveModel(spec)
+	if err != nil {
+		return nil, err
+	}
+	eng := simkit.New() // throwaway: only the geometry capacity is needed
+	probe, err := disk.New(eng, model, disk.Options{})
+	if err != nil {
+		return nil, err
+	}
+	offsets := make([]int64, spec.Disks)
+	var cum int64
+	for i := range offsets {
+		offsets[i] = cum
+		cum += probe.Capacity()
+	}
+	remapped, err := tr.Remap(offsets)
+	if err != nil {
+		return nil, err
+	}
+	return remapped, nil
+}
+
+// LimitStudyResult is one workload's Figure 2 + Figure 3 measurement.
+type LimitStudyResult struct {
+	Workload string
+	MD       Run
+	HCSD     Run
+}
+
+// LimitStudy runs the paper's §7.1 migration study for one workload:
+// the tuned MD array versus the single high-capacity drive.
+func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// MD.
+	engMD := simkit.New()
+	md, err := NewMDSystem(engMD, spec)
+	if err != nil {
+		return nil, err
+	}
+	mdResp := Replay(engMD, md.Router, tr)
+	mdRun := Run{
+		Label:     "MD",
+		Resp:      mdResp,
+		RotLat:    &stats.Sample{},
+		Power:     md.Router.Power(engMD.Now()),
+		ElapsedMs: engMD.Now(),
+		Completed: uint64(mdResp.Count()),
+	}
+
+	// HC-SD.
+	hcsdTr, err := HCSDTrace(spec, tr)
+	if err != nil {
+		return nil, err
+	}
+	engHC := simkit.New()
+	rot := &stats.Sample{}
+	hc, err := disk.New(engHC, disk.BarracudaES(), disk.Options{
+		OnService: func(s, r, x float64) { rot.Add(r) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	hcResp := Replay(engHC, hc, hcsdTr)
+	hcRun := Run{
+		Label:     "HC-SD",
+		Resp:      hcResp,
+		RotLat:    rot,
+		Power:     hc.Power(engHC.Now()),
+		ElapsedMs: engHC.Now(),
+		Completed: uint64(hcResp.Count()),
+	}
+	return &LimitStudyResult{Workload: spec.Name, MD: mdRun, HCSD: hcRun}, nil
+}
+
+// ScaleCase is one curve of the paper's Figure 4 bottleneck analysis.
+type ScaleCase struct {
+	Label     string
+	SeekScale float64 // disk.Options semantics (0 → 1.0, ZeroedScale → 0)
+	RotScale  float64
+}
+
+// Figure4Cases returns the paper's six scaled cases: seek time at 1/2,
+// 1/4 and 0, then rotational latency at 1/2, 1/4 and 0.
+func Figure4Cases() []ScaleCase {
+	return []ScaleCase{
+		{Label: "(1/2)S", SeekScale: 0.5},
+		{Label: "(1/4)S", SeekScale: 0.25},
+		{Label: "S=0", SeekScale: disk.ZeroedScale},
+		{Label: "(1/2)R", RotScale: 0.5},
+		{Label: "(1/4)R", RotScale: 0.25},
+		{Label: "R=0", RotScale: disk.ZeroedScale},
+	}
+}
+
+// BottleneckResult is one workload's Figure 4 measurement.
+type BottleneckResult struct {
+	Workload string
+	Cases    []Run // in Figure4Cases order
+}
+
+// Bottleneck runs the §7.1 bottleneck isolation on the HC-SD drive:
+// artificially scaled seek times and rotational latencies.
+func Bottleneck(spec trace.WorkloadSpec, cfg Config) (*BottleneckResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hcsdTr, err := HCSDTrace(spec, tr)
+	if err != nil {
+		return nil, err
+	}
+	out := &BottleneckResult{Workload: spec.Name}
+	for _, sc := range Figure4Cases() {
+		eng := simkit.New()
+		d, err := disk.New(eng, disk.BarracudaES(), disk.Options{
+			SeekScale: sc.SeekScale,
+			RotScale:  sc.RotScale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp := Replay(eng, d, hcsdTr)
+		out.Cases = append(out.Cases, Run{
+			Label:     sc.Label,
+			Resp:      resp,
+			RotLat:    &stats.Sample{},
+			Power:     d.Power(eng.Now()),
+			ElapsedMs: eng.Now(),
+			Completed: uint64(resp.Count()),
+		})
+	}
+	return out, nil
+}
+
+// SARun runs one HC-SD-SA(n) design point (optionally at a reduced RPM)
+// on a workload's HC-SD trace.
+func SARun(spec trace.WorkloadSpec, cfg Config, actuators int, rpm float64) (*Run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hcsdTr, err := HCSDTrace(spec, tr)
+	if err != nil {
+		return nil, err
+	}
+	return saRunOnTrace(hcsdTr, actuators, rpm)
+}
+
+// saRunOnTrace builds the SA(n) drive and replays a prepared trace.
+func saRunOnTrace(tr trace.Trace, actuators int, rpm float64) (*Run, error) {
+	model := disk.BarracudaES()
+	label := fmt.Sprintf("HC-SD-SA(%d)", actuators)
+	if rpm > 0 && rpm != model.RPM {
+		model = model.WithRPM(rpm)
+		label = fmt.Sprintf("SA(%d)/%d", actuators, int(rpm))
+	}
+	eng := simkit.New()
+	rot := &stats.Sample{}
+	d, err := core.New(eng, model, core.Config{
+		Actuators: actuators,
+		OnService: func(s, r, x float64) { rot.Add(r) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := Replay(eng, d, tr)
+	return &Run{
+		Label:     label,
+		Resp:      resp,
+		RotLat:    rot,
+		Power:     d.Power(eng.Now()),
+		ElapsedMs: eng.Now(),
+		Completed: uint64(resp.Count()),
+	}, nil
+}
+
+// MultiActuatorResult is one workload's Figure 5 measurement: response
+// CDFs and rotational-latency PDFs for SA(1)..SA(n).
+type MultiActuatorResult struct {
+	Workload string
+	MD       Run
+	Runs     []Run // SA(1), SA(2), ... in order
+}
+
+// MultiActuator runs the §7.2 evaluation for one workload.
+func MultiActuator(spec trace.WorkloadSpec, cfg Config, maxActuators int) (*MultiActuatorResult, error) {
+	if maxActuators < 1 {
+		return nil, fmt.Errorf("experiments: maxActuators %d", maxActuators)
+	}
+	ls, err := LimitStudy(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &MultiActuatorResult{Workload: spec.Name, MD: ls.MD}
+	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hcsdTr, err := HCSDTrace(spec, tr)
+	if err != nil {
+		return nil, err
+	}
+	for n := 1; n <= maxActuators; n++ {
+		r, err := saRunOnTrace(hcsdTr, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		out.Runs = append(out.Runs, *r)
+	}
+	return out, nil
+}
+
+// ReducedRPMResult is one workload's Figure 6/7 measurement: SA(n)
+// designs across spindle speeds.
+type ReducedRPMResult struct {
+	Workload string
+	MD       Run
+	HCSD     Run
+	Runs     []Run // SA(a)/rpm for each (actuators, rpm) pair requested
+}
+
+// ReducedRPMPoints returns the paper's Figure 6 grid: 2- and 4-actuator
+// designs at 7200, 6200, 5200 and 4200 RPM.
+func ReducedRPMPoints() (actuators []int, rpms []float64) {
+	return []int{2, 4}, []float64{7200, 6200, 5200, 4200}
+}
+
+// ReducedRPM runs the §7.2 reduced-RPM power/performance study.
+func ReducedRPM(spec trace.WorkloadSpec, cfg Config) (*ReducedRPMResult, error) {
+	ls, err := LimitStudy(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &ReducedRPMResult{Workload: spec.Name, MD: ls.MD, HCSD: ls.HCSD}
+	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hcsdTr, err := HCSDTrace(spec, tr)
+	if err != nil {
+		return nil, err
+	}
+	arms, rpms := ReducedRPMPoints()
+	for _, rpm := range rpms {
+		for _, a := range arms {
+			r, err := saRunOnTrace(hcsdTr, a, rpm)
+			if err != nil {
+				return nil, err
+			}
+			out.Runs = append(out.Runs, *r)
+		}
+	}
+	return out, nil
+}
+
+// SAPowerModel builds the power model of an HC-SD-SA(n) design point at
+// the given spindle speed (0 = the base model's RPM) — used by design
+// sweeps that need peak power and thermal figures without a simulation.
+func SAPowerModel(actuators int, rpm float64) (*power.Model, error) {
+	model := disk.BarracudaES()
+	if rpm > 0 {
+		model = model.WithRPM(rpm)
+	}
+	return power.NewModel(model.PowerCoeff, model.PowerSpec(actuators))
+}

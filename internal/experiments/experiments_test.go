@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/simkit"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Tests in this package run the real experiment drivers at reduced
+// request counts; they assert the paper's qualitative findings, which is
+// exactly what the reproduction must preserve.
+
+func testConfig() Config { return Config{Requests: 12000, Seed: 1} }
+
+func TestConfigValidation(t *testing.T) {
+	if err := (Config{Requests: 0}).Validate(); err == nil {
+		t.Fatalf("zero requests accepted")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestMDDriveModelMapping(t *testing.T) {
+	for _, w := range trace.Workloads() {
+		m, err := MDDriveModel(w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if m.RPM != w.RPM {
+			t.Errorf("%s: MD drive RPM %v, want %v", w.Name, m.RPM, w.RPM)
+		}
+		if m.Geom.Platters != w.Platters {
+			t.Errorf("%s: MD drive platters %d, want %d", w.Name, m.Geom.Platters, w.Platters)
+		}
+	}
+	if _, err := MDDriveModel(trace.WorkloadSpec{Name: "bogus"}); err == nil {
+		t.Fatalf("unknown workload accepted")
+	}
+}
+
+func TestHCSDTraceFitsBarracuda(t *testing.T) {
+	for _, w := range trace.Workloads() {
+		tr, err := trace.Generate(w.WithRequests(2000), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remapped, err := HCSDTrace(w, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if len(remapped) != len(tr) {
+			t.Fatalf("%s: remap changed length", w.Name)
+		}
+		// Everything must fit on the 750 GB drive (the paper's premise).
+		const barracudaSectors = 750e9 / 512
+		for i, r := range remapped {
+			if r.Disk != 0 {
+				t.Fatalf("%s: request %d still targets disk %d", w.Name, i, r.Disk)
+			}
+			if float64(r.End()) > barracudaSectors {
+				t.Fatalf("%s: request %d beyond the drive", w.Name, i)
+			}
+		}
+	}
+}
+
+// Figure 2: replacing the array with one drive loses performance for the
+// I/O-intensive workloads but barely for TPC-H.
+func TestLimitStudyFigure2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, w := range trace.Workloads() {
+		ls, err := LimitStudy(w, testConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		mdAt20 := ls.MD.Resp.FractionAtMost(20)
+		hcAt20 := ls.HCSD.Resp.FractionAtMost(20)
+		if hcAt20 > mdAt20 {
+			t.Errorf("%s: HC-SD (%.3f) outperformed MD (%.3f) at 20 ms", w.Name, hcAt20, mdAt20)
+		}
+		// The paper's TPC-H exception, in its own terms (§7.1): TPC-H's
+		// mean response stays below its mean inter-arrival time even on
+		// the single drive — the storage system keeps servicing requests
+		// faster than they arrive — while the other three workloads
+		// cannot keep up on HC-SD.
+		keepsUp := ls.HCSD.Resp.Mean() < w.MeanInterArrivalMs
+		if w.Name == "TPC-H" && !keepsUp {
+			t.Errorf("TPC-H HC-SD mean %.2f ms exceeds inter-arrival %.2f ms",
+				ls.HCSD.Resp.Mean(), w.MeanInterArrivalMs)
+		}
+		if w.Name != "TPC-H" && keepsUp {
+			t.Errorf("%s: HC-SD unexpectedly keeps up with arrivals (mean %.2f < %.2f)",
+				w.Name, ls.HCSD.Resp.Mean(), w.MeanInterArrivalMs)
+		}
+	}
+}
+
+// Figure 3: the migration cuts storage power by about an order of
+// magnitude, and idle power dominates the MD bars.
+func TestLimitStudyFigure3Power(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, w := range []trace.WorkloadSpec{trace.Financial(), trace.TPCH()} {
+		ls, err := LimitStudy(w, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := ls.MD.Power.Total() / ls.HCSD.Power.Total()
+		if ratio < 3 {
+			t.Errorf("%s: MD/HC-SD power ratio %.1f, want large", w.Name, ratio)
+		}
+		idleShare := ls.MD.Power.Watts[power.Idle] / ls.MD.Power.Total()
+		if idleShare < 0.5 {
+			t.Errorf("%s: MD idle share %.2f, want dominant", w.Name, idleShare)
+		}
+	}
+}
+
+// Figure 4: rotational latency is the primary bottleneck — scaling R
+// helps more than scaling S at the CDF body.
+func TestBottleneckFigure4RotationalPrimary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, w := range []trace.WorkloadSpec{trace.Financial(), trace.Websearch()} {
+		b, err := Bottleneck(w, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		byLabel := map[string]*Run{}
+		for i := range b.Cases {
+			byLabel[b.Cases[i].Label] = &b.Cases[i]
+		}
+		halfS := byLabel["(1/2)S"].Resp.FractionAtMost(10)
+		halfR := byLabel["(1/2)R"].Resp.FractionAtMost(10)
+		if halfR <= halfS {
+			t.Errorf("%s: (1/2)R %.3f not above (1/2)S %.3f at 10 ms", w.Name, halfR, halfS)
+		}
+	}
+}
+
+// Figure 5: more actuators shift the response CDF up and shorten the
+// rotational-latency tail, with diminishing returns.
+func TestMultiActuatorFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ma, err := MultiActuator(trace.Websearch(), testConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ma.Runs) != 4 {
+		t.Fatalf("%d runs", len(ma.Runs))
+	}
+	at10 := make([]float64, 4)
+	rotMean := make([]float64, 4)
+	for i, r := range ma.Runs {
+		at10[i] = r.Resp.FractionAtMost(10)
+		rotMean[i] = r.RotLat.Mean()
+	}
+	if !(at10[1] > at10[0] && at10[3] > at10[1]) {
+		t.Errorf("CDF@10 not improving with arms: %v", at10)
+	}
+	if !(rotMean[1] < rotMean[0] && rotMean[3] < rotMean[1]) {
+		t.Errorf("mean rotational latency not dropping with arms: %v", rotMean)
+	}
+	// SA(2) roughly matches MD for Websearch (the paper's claim).
+	md10 := ma.MD.Resp.FractionAtMost(10)
+	if at10[1] < md10-0.20 {
+		t.Errorf("SA(2) at 10 ms %.3f far below MD %.3f", at10[1], md10)
+	}
+}
+
+// Figures 6-7: lower-RPM multi-actuator designs cut power while several
+// still perform acceptably.
+func TestReducedRPMFigure6And7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rr, err := ReducedRPM(trace.TPCC(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms, rpms := ReducedRPMPoints()
+	if len(rr.Runs) != len(arms)*len(rpms) {
+		t.Fatalf("%d runs", len(rr.Runs))
+	}
+	find := func(label string) *Run {
+		for i := range rr.Runs {
+			if rr.Runs[i].Label == label {
+				return &rr.Runs[i]
+			}
+		}
+		t.Fatalf("run %q missing (have %v)", label, func() []string {
+			var names []string
+			for _, r := range rr.Runs {
+				names = append(names, r.Label)
+			}
+			return names
+		}())
+		return nil
+	}
+	p72 := find("HC-SD-SA(4)")
+	p42 := find("SA(4)/4200")
+	if p42.Power.Total() >= p72.Power.Total() {
+		t.Errorf("4200 RPM power %.1f not below 7200 RPM %.1f",
+			p42.Power.Total(), p72.Power.Total())
+	}
+	if p42.Resp.FractionAtMost(20) >= p72.Resp.FractionAtMost(20) {
+		t.Errorf("4200 RPM performance not below 7200 RPM")
+	}
+	// The 4200 RPM 4-actuator point still beats the plain HC-SD.
+	if p42.Resp.FractionAtMost(20) <= rr.HCSD.Resp.FractionAtMost(20) {
+		t.Errorf("SA(4)/4200 (%.3f) not above HC-SD (%.3f) at 20 ms",
+			p42.Resp.FractionAtMost(20), rr.HCSD.Resp.FractionAtMost(20))
+	}
+}
+
+// Figure 8: intra-disk parallel arrays need fewer disks and less power.
+func TestRAIDStudyFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := Config{Requests: 12000, Seed: 1}
+	rs, err := RAIDStudyWith(cfg, []int{2, 4, 8}, []int{1, 4}, []workload.Intensity{workload.Moderate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range []int{2, 4, 8} {
+		conv, ok1 := rs.Point(workload.Moderate, 1, count)
+		sa4, ok2 := rs.Point(workload.Moderate, 4, count)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing points for count %d", count)
+		}
+		if sa4.P90 >= conv.P90 {
+			t.Errorf("%d disks: SA(4) p90 %.2f not below conventional %.2f",
+				count, sa4.P90, conv.P90)
+		}
+	}
+	// More disks always help within a family.
+	p2, _ := rs.Point(workload.Moderate, 1, 2)
+	p8, _ := rs.Point(workload.Moderate, 1, 8)
+	if p8.P90 >= p2.P90 {
+		t.Errorf("8-disk conventional p90 %.2f not below 2-disk %.2f", p8.P90, p2.P90)
+	}
+	be := rs.IsoPerformance()
+	if len(be) != 1 {
+		t.Fatalf("IsoPerformance groups: %d", len(be))
+	}
+	var convBE, sa4BE *BreakEvenConfig
+	for i := range be[0].Configs {
+		c := &be[0].Configs[i]
+		if c.Actuators == 1 {
+			convBE = c
+		}
+		if c.Actuators == 4 {
+			sa4BE = c
+		}
+	}
+	if convBE == nil || sa4BE == nil {
+		t.Fatalf("break-even configs missing: %+v", be[0].Configs)
+	}
+	if sa4BE.Drives > convBE.Drives {
+		t.Errorf("SA(4) break-even at %d disks, conventional at %d", sa4BE.Drives, convBE.Drives)
+	}
+	if sa4BE.PowerW >= convBE.PowerW {
+		t.Errorf("SA(4) break-even power %.1f not below conventional %.1f",
+			sa4BE.PowerW, convBE.PowerW)
+	}
+}
+
+func TestReplayCountsEveryRequest(t *testing.T) {
+	w := trace.TPCH().WithRequests(500)
+	ls, err := LimitStudy(w, Config{Requests: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.MD.Resp.Count() != 500 || ls.HCSD.Resp.Count() != 500 {
+		t.Fatalf("responses: MD %d, HC-SD %d, want 500",
+			ls.MD.Resp.Count(), ls.HCSD.Resp.Count())
+	}
+}
+
+func TestFigure4CasesComplete(t *testing.T) {
+	cases := Figure4Cases()
+	want := []string{"(1/2)S", "(1/4)S", "S=0", "(1/2)R", "(1/4)R", "R=0"}
+	if len(cases) != len(want) {
+		t.Fatalf("%d cases", len(cases))
+	}
+	for i, c := range cases {
+		if c.Label != want[i] {
+			t.Fatalf("case %d = %q, want %q", i, c.Label, want[i])
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	ls, err := LimitStudy(trace.TPCH().WithRequests(300), Config{Requests: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteCDFTable(&buf, "title", []Run{ls.MD, ls.HCSD})
+	if !strings.Contains(buf.String(), "title") || !strings.Contains(buf.String(), "MD") {
+		t.Fatalf("CDF table output: %q", buf.String())
+	}
+	buf.Reset()
+	WritePowerTable(&buf, "power", []Run{ls.MD})
+	if !strings.Contains(buf.String(), "rotlat") {
+		t.Fatalf("power table output: %q", buf.String())
+	}
+	buf.Reset()
+	WriteTable1(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "IBM 3380 AK4") || !strings.Contains(out, "modeled") {
+		t.Fatalf("Table 1 output: %q", out)
+	}
+	buf.Reset()
+	WriteSummaryTable(&buf, "sum", []Run{ls.MD})
+	if !strings.Contains(buf.String(), "power=") {
+		t.Fatalf("summary output: %q", buf.String())
+	}
+	if s := WriteBreakdownBar(ls.MD.Power); !strings.Contains(s, "total=") {
+		t.Fatalf("breakdown bar: %q", s)
+	}
+}
+
+func TestMDSystemOffsetsMonotone(t *testing.T) {
+	w := trace.Websearch()
+	engine, err := LimitStudy(w.WithRequests(200), Config{Requests: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = engine
+	// Offsets come from a fresh MD system.
+	md, err := NewMDSystem(newEngine(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := md.Offsets()
+	if len(offsets) != w.Disks {
+		t.Fatalf("%d offsets for %d disks", len(offsets), w.Disks)
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] <= offsets[i-1] {
+			t.Fatalf("offsets not increasing: %v", offsets)
+		}
+	}
+}
+
+// newEngine is a tiny test helper (keeps the experiments API surface
+// engine-free for callers that only build systems).
+func newEngine() *simkit.Engine { return simkit.New() }

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// WriteCDFTable renders labeled response-time CDFs over the paper's
+// buckets, one row per run — the textual form of Figures 2, 4, 5 and 7.
+func WriteCDFTable(w io.Writer, title string, runs []Run) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-16s", "config")
+	for _, e := range stats.ResponseBucketEdgesMs {
+		fmt.Fprintf(w, " <=%-5g", e)
+	}
+	fmt.Fprintf(w, " %s\n", "200+")
+	for _, r := range runs {
+		cdf := r.ResponseCDF()
+		fmt.Fprintf(w, "%-16s", r.Label)
+		for _, v := range cdf {
+			fmt.Fprintf(w, " %6.3f", v)
+		}
+		fmt.Fprintf(w, " %6.3f\n", 1-cdf[len(cdf)-1])
+	}
+}
+
+// WritePDFTable renders rotational-latency PDFs over the paper's
+// buckets — the textual form of Figure 5's second row.
+func WritePDFTable(w io.Writer, title string, runs []Run) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-16s", "config")
+	for _, e := range stats.RotLatencyBucketEdgesMs {
+		fmt.Fprintf(w, " <=%-5g", e)
+	}
+	fmt.Fprintf(w, " %s\n", "11+")
+	for _, r := range runs {
+		if r.RotLat.Count() == 0 {
+			continue
+		}
+		pdf := r.RotLat.RotLatencyPDF()
+		fmt.Fprintf(w, "%-16s", r.Label)
+		for _, v := range pdf {
+			fmt.Fprintf(w, " %6.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WritePowerTable renders per-mode average power, one stacked bar per
+// run — the textual form of Figures 3 and 6.
+func WritePowerTable(w io.Writer, title string, runs []Run) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %8s %8s\n",
+		"config", "idle", "seek", "rotlat", "xfer", "total")
+	for _, r := range runs {
+		b := r.Power
+		fmt.Fprintf(w, "%-16s %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			r.Label,
+			b.Watts[power.Idle], b.Watts[power.Seek],
+			b.Watts[power.RotLatency], b.Watts[power.Transfer], b.Total())
+	}
+}
+
+// WriteSummaryTable renders one summary line per run.
+func WriteSummaryTable(w io.Writer, title string, runs []Run) {
+	fmt.Fprintf(w, "%s\n", title)
+	for _, r := range runs {
+		fmt.Fprintf(w, "%-16s %s power=%.1fW\n", r.Label, r.Resp.Summarize(), r.Power.Total())
+	}
+}
+
+// WriteTable1 renders the drive-technology comparison of Table 1.
+func WriteTable1(w io.Writer) {
+	coeff := power.Default()
+	fmt.Fprintln(w, "Table 1: Comparison of disk drive technologies over time")
+	fmt.Fprintf(w, "%-32s %10s %8s %10s %5s %10s %9s\n",
+		"drive", "density", "diam", "capacity", "act", "power(W)", "xfer MB/s")
+	for _, d := range power.Table1() {
+		src := "modeled"
+		if !d.Modeled() {
+			src = "published"
+		}
+		fmt.Fprintf(w, "%-32s %10.0f %8.1f %10.0f %5d %10.1f %9.1f  (%s)\n",
+			d.Name, d.ArealDensityMb, d.DiameterIn, d.CapacityMB,
+			d.Actuators, d.PowerW(coeff), d.TransferMBps, src)
+	}
+}
+
+// WriteRAIDStudy renders Figure 8: the 90th-percentile response curves
+// per intensity and the iso-performance power comparison.
+func WriteRAIDStudy(w io.Writer, r *RAIDStudyResult) {
+	var order []workload.Intensity
+	seen := map[workload.Intensity]bool{}
+	for _, p := range r.Points {
+		if !seen[p.Intensity] {
+			seen[p.Intensity] = true
+			order = append(order, p.Intensity)
+		}
+	}
+	for _, in := range order {
+		fmt.Fprintf(w, "Figure 8: inter-arrival %s — 90th percentile response (ms)\n", in)
+		fmt.Fprintf(w, "%-14s", "disks")
+		for _, c := range r.DiskCounts {
+			fmt.Fprintf(w, " %8d", c)
+		}
+		fmt.Fprintln(w)
+		for _, fam := range r.Families {
+			label := "HC-SD"
+			if fam > 1 {
+				label = fmt.Sprintf("HC-SD-SA(%d)", fam)
+			}
+			fmt.Fprintf(w, "%-14s", label)
+			for _, c := range r.DiskCounts {
+				if p, ok := r.Point(in, fam, c); ok {
+					fmt.Fprintf(w, " %8.2f", p.P90)
+				} else {
+					fmt.Fprintf(w, " %8s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "Iso-performance power comparison:")
+	for _, be := range r.IsoPerformance() {
+		fmt.Fprintf(w, "  %s target p90=%.2f ms:\n", be.Intensity, be.TargetP90)
+		for _, c := range be.Configs {
+			label := "HC-SD"
+			if c.Actuators > 1 {
+				label = fmt.Sprintf("SA(%d)", c.Actuators)
+			}
+			fmt.Fprintf(w, "    %d x %-10s p90=%7.2f ms  power=%7.1f W\n",
+				c.Drives, label, c.P90, c.PowerW)
+		}
+	}
+}
+
+// WriteBreakdownBar renders one power breakdown inline.
+func WriteBreakdownBar(b power.Breakdown) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "idle=%.1f seek=%.1f rot=%.1f xfer=%.1f total=%.1fW",
+		b.Watts[power.Idle], b.Watts[power.Seek], b.Watts[power.RotLatency],
+		b.Watts[power.Transfer], b.Total())
+	return sb.String()
+}

@@ -1,0 +1,429 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name:               "test",
+		Platters:           2,
+		SurfacesPerPlatter: 2,
+		Cylinders:          1000,
+		Zones:              5,
+		OuterSPT:           200,
+		InnerSPT:           120,
+		SectorBytes:        512,
+		TrackSkew:          20,
+		CylinderSkew:       30,
+	}
+}
+
+func mustNew(t testing.TB, s Spec) *Geometry {
+	t.Helper()
+	g, err := New(s)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", s, err)
+	}
+	return g
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"zero platters", func(s *Spec) { s.Platters = 0 }},
+		{"zero surfaces", func(s *Spec) { s.SurfacesPerPlatter = 0 }},
+		{"zero cylinders", func(s *Spec) { s.Cylinders = 0 }},
+		{"zero zones", func(s *Spec) { s.Zones = 0 }},
+		{"more zones than cylinders", func(s *Spec) { s.Zones = 2000 }},
+		{"zero outer spt", func(s *Spec) { s.OuterSPT = 0 }},
+		{"zero inner spt", func(s *Spec) { s.InnerSPT = 0 }},
+		{"inner denser than outer", func(s *Spec) { s.InnerSPT = s.OuterSPT + 1 }},
+		{"zero sector bytes", func(s *Spec) { s.SectorBytes = 0 }},
+		{"negative track skew", func(s *Spec) { s.TrackSkew = -1 }},
+		{"negative cylinder skew", func(s *Spec) { s.CylinderSkew = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testSpec()
+			tc.mutate(&s)
+			if _, err := New(s); err == nil {
+				t.Fatalf("New accepted invalid spec %+v", s)
+			}
+		})
+	}
+}
+
+func TestZonesPartitionCylinders(t *testing.T) {
+	g := mustNew(t, testSpec())
+	cyl := 0
+	for i, z := range g.Zones() {
+		if z.FirstCyl != cyl {
+			t.Fatalf("zone %d starts at cyl %d, want %d", i, z.FirstCyl, cyl)
+		}
+		if z.CylCount <= 0 {
+			t.Fatalf("zone %d has %d cylinders", i, z.CylCount)
+		}
+		cyl += z.CylCount
+	}
+	if cyl != g.Cylinders() {
+		t.Fatalf("zones cover %d cylinders, want %d", cyl, g.Cylinders())
+	}
+}
+
+func TestZonesPartitionLBASpace(t *testing.T) {
+	g := mustNew(t, testSpec())
+	var lba int64
+	for i, z := range g.Zones() {
+		if z.FirstLBA != lba {
+			t.Fatalf("zone %d starts at lba %d, want %d", i, z.FirstLBA, lba)
+		}
+		wantSectors := int64(z.CylCount) * int64(g.Surfaces()) * int64(z.SPT)
+		if z.Sectors != wantSectors {
+			t.Fatalf("zone %d has %d sectors, want %d", i, z.Sectors, wantSectors)
+		}
+		lba += z.Sectors
+	}
+	if lba != g.TotalSectors() {
+		t.Fatalf("zones cover %d sectors, want %d", lba, g.TotalSectors())
+	}
+}
+
+func TestZoneDensityDecreasesInward(t *testing.T) {
+	g := mustNew(t, testSpec())
+	zones := g.Zones()
+	if zones[0].SPT != 200 {
+		t.Fatalf("outer zone SPT = %d, want 200", zones[0].SPT)
+	}
+	if zones[len(zones)-1].SPT != 120 {
+		t.Fatalf("inner zone SPT = %d, want 120", zones[len(zones)-1].SPT)
+	}
+	for i := 1; i < len(zones); i++ {
+		if zones[i].SPT > zones[i-1].SPT {
+			t.Fatalf("zone %d SPT %d exceeds zone %d SPT %d",
+				i, zones[i].SPT, i-1, zones[i-1].SPT)
+		}
+	}
+}
+
+func TestSingleZoneUsesOuterSPT(t *testing.T) {
+	s := testSpec()
+	s.Zones = 1
+	g := mustNew(t, s)
+	if got := g.Zones()[0].SPT; got != s.OuterSPT {
+		t.Fatalf("single zone SPT = %d, want %d", got, s.OuterSPT)
+	}
+}
+
+func TestLocateFirstAndLastBlocks(t *testing.T) {
+	g := mustNew(t, testSpec())
+	l0 := g.Locate(0)
+	if l0.Cyl != 0 || l0.Surface != 0 || l0.Sector != 0 || l0.Zone != 0 {
+		t.Fatalf("Locate(0) = %+v, want origin", l0)
+	}
+	last := g.Locate(g.TotalSectors() - 1)
+	if last.Cyl != g.Cylinders()-1 {
+		t.Fatalf("last block on cyl %d, want %d", last.Cyl, g.Cylinders()-1)
+	}
+	if last.Surface != g.Surfaces()-1 {
+		t.Fatalf("last block on surface %d, want %d", last.Surface, g.Surfaces()-1)
+	}
+	if last.Sector != last.SPT-1 {
+		t.Fatalf("last block sector %d, want %d", last.Sector, last.SPT-1)
+	}
+}
+
+func TestLocatePanicsOutOfRange(t *testing.T) {
+	g := mustNew(t, testSpec())
+	for _, lba := range []int64{-1, g.TotalSectors()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Locate(%d) did not panic", lba)
+				}
+			}()
+			g.Locate(lba)
+		}()
+	}
+}
+
+func TestRoundTripExhaustiveSmall(t *testing.T) {
+	s := Spec{
+		Name: "tiny", Platters: 1, SurfacesPerPlatter: 2,
+		Cylinders: 10, Zones: 3, OuterSPT: 12, InnerSPT: 8,
+		SectorBytes: 512, TrackSkew: 2, CylinderSkew: 3,
+	}
+	g := mustNew(t, s)
+	for lba := int64(0); lba < g.TotalSectors(); lba++ {
+		l := g.Locate(lba)
+		back := g.LBAOf(l)
+		if back != lba {
+			t.Fatalf("round trip %d -> %+v -> %d", lba, l, back)
+		}
+	}
+}
+
+func TestPropertyRoundTripLarge(t *testing.T) {
+	g := mustNew(t, Spec{
+		Name: "big", Platters: 4, SurfacesPerPlatter: 2,
+		Cylinders: 150000, Zones: 16, OuterSPT: 1430, InnerSPT: 870,
+		SectorBytes: 512, TrackSkew: 40, CylinderSkew: 60,
+	})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lba := rng.Int63n(g.TotalSectors())
+		l := g.Locate(lba)
+		return g.LBAOf(l) == lba &&
+			l.Angle >= 0 && l.Angle < 1 &&
+			l.Cyl >= 0 && l.Cyl < g.Cylinders() &&
+			l.Sector >= 0 && l.Sector < l.SPT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCylinderMonotonicInLBA(t *testing.T) {
+	g := mustNew(t, testSpec())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Int63n(g.TotalSectors())
+		b := rng.Int63n(g.TotalSectors())
+		if a > b {
+			a, b = b, a
+		}
+		return g.CylOf(a) <= g.CylOf(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCylOfAgreesWithLocate(t *testing.T) {
+	g := mustNew(t, testSpec())
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		lba := rng.Int63n(g.TotalSectors())
+		if g.CylOf(lba) != g.Locate(lba).Cyl {
+			t.Fatalf("CylOf(%d)=%d, Locate=%d", lba, g.CylOf(lba), g.Locate(lba).Cyl)
+		}
+	}
+}
+
+func TestTrackRemainder(t *testing.T) {
+	g := mustNew(t, testSpec())
+	l := g.Locate(0)
+	if got := g.TrackRemainder(0); got != l.SPT {
+		t.Fatalf("TrackRemainder(0) = %d, want %d", got, l.SPT)
+	}
+	// Walk one full track: remainder decrements by one per sector.
+	for i := 0; i < l.SPT; i++ {
+		want := l.SPT - i
+		if got := g.TrackRemainder(int64(i)); got != want {
+			t.Fatalf("TrackRemainder(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSkewShiftsAngle(t *testing.T) {
+	s := testSpec()
+	s.TrackSkew = 0
+	s.CylinderSkew = 0
+	flat := mustNew(t, s)
+	s.TrackSkew = 10
+	skewed := mustNew(t, s)
+
+	// Sector 0 of surface 0 has no skew in either geometry.
+	if flat.Locate(0).Angle != skewed.Locate(0).Angle {
+		t.Fatalf("surface 0 angle changed by track skew")
+	}
+	// Sector 0 of surface 1 (one track later) is shifted by TrackSkew sectors.
+	spt := flat.Zones()[0].SPT
+	lba := int64(spt) // first sector of surface 1, cylinder 0
+	f := flat.Locate(lba)
+	k := skewed.Locate(lba)
+	wantShift := 10.0 / float64(spt)
+	if diff := k.Angle - f.Angle; diff != wantShift {
+		t.Fatalf("track skew shifted angle by %v, want %v", diff, wantShift)
+	}
+}
+
+func TestSequentialAnglesAdvance(t *testing.T) {
+	g := mustNew(t, testSpec())
+	spt := g.Zones()[0].SPT
+	prev := g.Locate(0).Angle
+	for i := 1; i < spt; i++ {
+		cur := g.Locate(int64(i)).Angle
+		if cur <= prev {
+			t.Fatalf("angle not advancing within track at sector %d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestCapacityBytes(t *testing.T) {
+	g := mustNew(t, testSpec())
+	if g.CapacityBytes() != g.TotalSectors()*512 {
+		t.Fatalf("CapacityBytes = %d, want %d", g.CapacityBytes(), g.TotalSectors()*512)
+	}
+}
+
+func TestMeanSPTWithinBounds(t *testing.T) {
+	g := mustNew(t, testSpec())
+	m := g.MeanSPT()
+	if m < 120 || m > 200 {
+		t.Fatalf("MeanSPT = %v, want within [120,200]", m)
+	}
+	// Outer zones hold more sectors, so the mean should exceed the midpoint.
+	if m <= 160 {
+		t.Fatalf("MeanSPT = %v, want > arithmetic midpoint 160", m)
+	}
+}
+
+func TestLBAOfPanicsOnBadLoc(t *testing.T) {
+	g := mustNew(t, testSpec())
+	bad := []Loc{
+		{Zone: -1},
+		{Zone: 99},
+		{Zone: 0, Cyl: 99999},
+		{Zone: 0, Cyl: 0, Surface: 99},
+		{Zone: 0, Cyl: 0, Surface: 0, Sector: 9999},
+	}
+	for _, l := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LBAOf(%+v) did not panic", l)
+				}
+			}()
+			g.LBAOf(l)
+		}()
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	g := mustNew(b, Spec{
+		Name: "bench", Platters: 4, SurfacesPerPlatter: 2,
+		Cylinders: 150000, Zones: 16, OuterSPT: 1430, InnerSPT: 870,
+		SectorBytes: 512, TrackSkew: 40, CylinderSkew: 60,
+	})
+	rng := rand.New(rand.NewSource(1))
+	lbas := make([]int64, 1024)
+	for i := range lbas {
+		lbas[i] = rng.Int63n(g.TotalSectors())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Locate(lbas[i%len(lbas)])
+	}
+}
+
+// --- Serpentine layout tests ---
+
+func serpentineSpec() Spec {
+	s := testSpec()
+	s.Name = "serp"
+	s.Serpentine = true
+	return s
+}
+
+func TestSerpentineCapacityMatchesCylinderMajor(t *testing.T) {
+	cm := mustNew(t, testSpec())
+	sp := mustNew(t, serpentineSpec())
+	if cm.TotalSectors() != sp.TotalSectors() {
+		t.Fatalf("layouts disagree on capacity: %d vs %d",
+			cm.TotalSectors(), sp.TotalSectors())
+	}
+}
+
+func TestSerpentineSurfaceMajorOrder(t *testing.T) {
+	g := mustNew(t, serpentineSpec())
+	z := g.Zones()[0]
+	// The first CylCount*SPT blocks all live on surface 0, walking
+	// outward-in one cylinder at a time.
+	perSurface := int64(z.CylCount) * int64(z.SPT)
+	l0 := g.Locate(0)
+	if l0.Surface != 0 || l0.Cyl != 0 {
+		t.Fatalf("first block at %+v", l0)
+	}
+	lEnd := g.Locate(perSurface - 1)
+	if lEnd.Surface != 0 || lEnd.Cyl != z.FirstCyl+z.CylCount-1 {
+		t.Fatalf("last surface-0 block at %+v", lEnd)
+	}
+	// The next block switches to surface 1 on the SAME (innermost)
+	// cylinder: the serpentine turn-around.
+	lNext := g.Locate(perSurface)
+	if lNext.Surface != 1 || lNext.Cyl != z.FirstCyl+z.CylCount-1 {
+		t.Fatalf("turn-around block at %+v", lNext)
+	}
+}
+
+func TestSerpentineRoundTripExhaustiveSmall(t *testing.T) {
+	s := Spec{
+		Name: "tiny-serp", Platters: 1, SurfacesPerPlatter: 2,
+		Cylinders: 10, Zones: 3, OuterSPT: 12, InnerSPT: 8,
+		SectorBytes: 512, TrackSkew: 2, CylinderSkew: 3,
+		Serpentine: true,
+	}
+	g := mustNew(t, s)
+	seen := map[int64]bool{}
+	for lba := int64(0); lba < g.TotalSectors(); lba++ {
+		l := g.Locate(lba)
+		back := g.LBAOf(l)
+		if back != lba {
+			t.Fatalf("round trip %d -> %+v -> %d", lba, l, back)
+		}
+		if seen[back] {
+			t.Fatalf("duplicate mapping for %d", back)
+		}
+		seen[back] = true
+	}
+}
+
+func TestPropertySerpentineRoundTripLarge(t *testing.T) {
+	s := serpentineSpec()
+	s.Cylinders = 30000
+	s.Zones = 8
+	g := mustNew(t, s)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lba := rng.Int63n(g.TotalSectors())
+		l := g.Locate(lba)
+		return g.LBAOf(l) == lba && l.Sector >= 0 && l.Sector < l.SPT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerpentineSequentialStaysOnSurface(t *testing.T) {
+	g := mustNew(t, serpentineSpec())
+	// Crossing a track boundary inside a surface run moves one cylinder,
+	// not one surface: the property that makes serpentine good for
+	// streaming.
+	z := g.Zones()[0]
+	lba := int64(z.SPT) // first block of the second track
+	prev := g.Locate(lba - 1)
+	cur := g.Locate(lba)
+	if cur.Surface != prev.Surface {
+		t.Fatalf("sequential run switched surfaces: %+v -> %+v", prev, cur)
+	}
+	if cur.Cyl != prev.Cyl+1 {
+		t.Fatalf("sequential run did not advance one cylinder: %+v -> %+v", prev, cur)
+	}
+}
+
+func TestSerpentineCylOfAgreesWithLocate(t *testing.T) {
+	g := mustNew(t, serpentineSpec())
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		lba := rng.Int63n(g.TotalSectors())
+		if g.CylOf(lba) != g.Locate(lba).Cyl {
+			t.Fatalf("CylOf mismatch at %d", lba)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+)
+
+// PhysicalSeekCurve is the first-principles alternative to the 3-point
+// datasheet fit: a bang-bang actuator model. The arm accelerates at a
+// constant rate, coasts at its maximum velocity if the seek is long
+// enough, and decelerates symmetrically:
+//
+//	t(d) = 2·√(d/a)            d ≤ d_coast (triangle profile)
+//	t(d) = d/v + v/a           d > d_coast (trapezoid profile)
+//
+// with d_coast = v²/a. The parameters are extracted from the average
+// and full-stroke datasheet anchors (both in the coast regime on real
+// drives, at one-third and all of the stroke): their difference pins
+// the coast velocity, and the full-stroke residual pins the
+// acceleration. A fixed head-settle time is added to every seek; it,
+// not acceleration, dominates short seeks, which is why the
+// single-cylinder anchor cannot be used for extraction.
+type PhysicalSeekCurve struct {
+	accel    float64 // cylinders per ms²
+	vmax     float64 // cylinders per ms
+	settleMs float64
+	maxCyl   int
+}
+
+// NewPhysicalSeekCurve extracts the physical parameters from a seek
+// spec and settle time, anchoring on the average-seek point (at a third
+// of the stroke) and the full-stroke point.
+func NewPhysicalSeekCurve(spec SeekSpec, settleMs float64) (*PhysicalSeekCurve, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if settleMs < 0 || settleMs >= spec.AvgMs {
+		return nil, fmt.Errorf("mech: settle %v must be in [0, average seek %v)",
+			settleMs, spec.AvgMs)
+	}
+	dAvg := float64(spec.MaxCyl) / 3
+	dFull := float64(spec.MaxCyl)
+	// Both anchors in the coast regime: t = settle + d/v + v/a.
+	vmax := (dFull - dAvg) / (spec.FullStrokeMs - spec.AvgMs)
+	rampMs := spec.FullStrokeMs - settleMs - dFull/vmax // = v/a
+	if rampMs <= 0 {
+		return nil, fmt.Errorf("mech: settle %v leaves no ramp time (full stroke %v)",
+			settleMs, spec.FullStrokeMs)
+	}
+	accel := vmax / rampMs
+	p := &PhysicalSeekCurve{accel: accel, vmax: vmax, settleMs: settleMs, maxCyl: spec.MaxCyl}
+	if coast := vmax * vmax / accel; coast > dAvg {
+		return nil, fmt.Errorf("mech: coast distance %.0f exceeds the average anchor %.0f; anchors not in coast regime", coast, dAvg)
+	}
+	return p, nil
+}
+
+// Accel reports the extracted acceleration (cylinders/ms²).
+func (p *PhysicalSeekCurve) Accel() float64 { return p.accel }
+
+// MaxVelocity reports the extracted coast velocity (cylinders/ms).
+func (p *PhysicalSeekCurve) MaxVelocity() float64 { return p.vmax }
+
+// Time reports the seek time in ms for a move of dist cylinders.
+func (p *PhysicalSeekCurve) Time(dist int) float64 {
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist == 0 {
+		return 0
+	}
+	d := float64(dist)
+	coast := p.vmax * p.vmax / p.accel
+	if d <= coast {
+		return p.settleMs + 2*math.Sqrt(d/p.accel)
+	}
+	return p.settleMs + d/p.vmax + p.vmax/p.accel
+}

@@ -1,0 +1,139 @@
+package raid
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestMemberExtents(t *testing.T) {
+	r0, _ := NewRAID0(4, 1000, 10)
+	if r0.MemberExtent() != 1000 {
+		t.Fatalf("RAID0 extent %d", r0.MemberExtent())
+	}
+	r1, _ := NewRAID1(2, 777)
+	if r1.MemberExtent() != 777 {
+		t.Fatalf("RAID1 extent %d", r1.MemberExtent())
+	}
+	r5, _ := NewRAID5(4, 1000, 10)
+	if r5.MemberExtent() != 1000 {
+		t.Fatalf("RAID5 extent %d", r5.MemberExtent())
+	}
+}
+
+func TestRebuildValidation(t *testing.T) {
+	r5, _ := NewRAID5(4, 1000, 10)
+	_, a, _ := fakeArray(t, r5, nil)
+	if err := a.Rebuild(0, 100, 1, nil); err == nil {
+		t.Fatalf("rebuild of healthy member accepted")
+	}
+	if err := a.FailMember(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rebuild(-1, 100, 1, nil); err == nil {
+		t.Fatalf("negative member accepted")
+	}
+	if err := a.Rebuild(0, 0, 1, nil); err == nil {
+		t.Fatalf("zero chunk accepted")
+	}
+	if err := a.Rebuild(0, 100, 0, nil); err == nil {
+		t.Fatalf("zero depth accepted")
+	}
+}
+
+func TestRebuildCopiesFullExtentAndRestores(t *testing.T) {
+	r5, _ := NewRAID5(4, 1000, 10)
+	eng, a, disks := fakeArray(t, r5, nil)
+	if err := a.FailMember(1); err != nil {
+		t.Fatal(err)
+	}
+	var copied int64
+	eng.At(0, func() {
+		if err := a.Rebuild(1, 100, 2, func(n int64) { copied = n }); err != nil {
+			t.Errorf("Rebuild: %v", err)
+		}
+	})
+	eng.Run()
+	if copied != 1000 {
+		t.Fatalf("copied %d sectors, want the full 1000-sector extent", copied)
+	}
+	if a.Degraded() {
+		t.Fatalf("array still degraded after rebuild")
+	}
+	// 10 chunks: each chunk writes once to the replacement and reads once
+	// from each of the three survivors.
+	writes := 0
+	for _, op := range disks[1].ops {
+		if !op.Read {
+			writes++
+		}
+	}
+	if writes != 10 {
+		t.Fatalf("replacement received %d writes, want 10", writes)
+	}
+	survivorReads := len(disks[0].ops) + len(disks[2].ops) + len(disks[3].ops)
+	if survivorReads != 30 {
+		t.Fatalf("survivors serviced %d reads, want 30", survivorReads)
+	}
+}
+
+func TestRebuildDepthBoundsConcurrency(t *testing.T) {
+	// With depth 1, chunks serialize: total time = chunks × (read+write).
+	r1, _ := NewRAID1(2, 400)
+	eng, a, _ := fakeArray(t, r1, []float64{1, 1})
+	if err := a.FailMember(0); err != nil {
+		t.Fatal(err)
+	}
+	var doneAt float64
+	eng.At(0, func() {
+		if err := a.Rebuild(0, 100, 1, func(int64) { doneAt = eng.Now() }); err != nil {
+			t.Errorf("Rebuild: %v", err)
+		}
+	})
+	eng.Run()
+	// 4 chunks × (1 ms read + 1 ms write) = 8 ms, serialized.
+	if doneAt != 8 {
+		t.Fatalf("depth-1 rebuild finished at %v, want 8", doneAt)
+	}
+
+	// With depth 4 everything overlaps on the idle fakes: 2 ms.
+	eng2, a2, _ := fakeArray(t, r1, []float64{1, 1})
+	if err := a2.FailMember(0); err != nil {
+		t.Fatal(err)
+	}
+	var doneAt2 float64
+	eng2.At(0, func() {
+		if err := a2.Rebuild(0, 100, 4, func(int64) { doneAt2 = eng2.Now() }); err != nil {
+			t.Errorf("Rebuild: %v", err)
+		}
+	})
+	eng2.Run()
+	if doneAt2 != 2 {
+		t.Fatalf("depth-4 rebuild finished at %v, want 2", doneAt2)
+	}
+}
+
+func TestForegroundFlowsDuringRebuild(t *testing.T) {
+	r5, _ := NewRAID5(4, 1000, 10)
+	eng, a, _ := fakeArray(t, r5, nil)
+	if err := a.FailMember(2); err != nil {
+		t.Fatal(err)
+	}
+	fgDone := 0
+	eng.At(0, func() {
+		if err := a.Rebuild(2, 50, 1, nil); err != nil {
+			t.Errorf("Rebuild: %v", err)
+		}
+		for i := int64(0); i < 5; i++ {
+			a.Submit(trace.Request{LBA: i * 10, Sectors: 10, Read: true},
+				func(float64) { fgDone++ })
+		}
+	})
+	eng.Run()
+	if fgDone != 5 {
+		t.Fatalf("foreground completed %d of 5 during rebuild", fgDone)
+	}
+	if a.Degraded() {
+		t.Fatalf("rebuild did not finish")
+	}
+}

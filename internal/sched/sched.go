@@ -1,0 +1,185 @@
+// Package sched provides the request-queue scheduling machinery disk
+// models use: a pending queue that can dispatch FCFS, or pick the
+// cost-minimizing request (SSTF when the cost is seek distance, SPTF when
+// the cost is total positioning time, as the paper's drives use).
+//
+// Greedy positioning-time schedulers can starve requests under load, so
+// the queue supports a scan window (bounding the dispatch scan, which also
+// bounds simulation cost on deeply backed-up queues) and an age cap that
+// forces the oldest request out once it has waited too long.
+package sched
+
+import "fmt"
+
+// Policy selects how the queue orders dispatches.
+type Policy int
+
+// Supported scheduling policies.
+const (
+	// FCFS dispatches strictly in arrival order.
+	FCFS Policy = iota
+	// SSTF dispatches the request with the shortest seek distance.
+	SSTF
+	// SPTF dispatches the request with the shortest positioning
+	// (seek + rotational latency) time — the paper's policy (§7.2).
+	SPTF
+	// CLOOK dispatches in circular elevator order: ascending cylinders,
+	// wrapping from the highest pending cylinder back to the lowest.
+	// Like SSTF/SPTF it is cost-driven; the device supplies a cost that
+	// encodes scan order (see disk.Drive's dispatchCost).
+	CLOOK
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "FCFS"
+	case SSTF:
+		return "SSTF"
+	case SPTF:
+		return "SPTF"
+	case CLOOK:
+		return "C-LOOK"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy converts a name to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "FCFS", "fcfs":
+		return FCFS, nil
+	case "SSTF", "sstf":
+		return SSTF, nil
+	case "SPTF", "sptf":
+		return SPTF, nil
+	case "CLOOK", "clook", "C-LOOK":
+		return CLOOK, nil
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q", s)
+}
+
+// Config tunes a Queue.
+type Config struct {
+	Policy Policy
+	// Window bounds how many queued requests (in arrival order) a
+	// cost-based dispatch scans. Zero means scan everything. DiskSim
+	// scans the whole queue; a bounded window trades a little schedule
+	// quality for O(1) dispatch on saturated queues.
+	Window int
+	// MaxAgeMs forces the oldest request to dispatch once it has waited
+	// this long, preventing starvation. Zero disables the cap.
+	MaxAgeMs float64
+}
+
+type entry[T any] struct {
+	item     T
+	arrival  float64
+	sequence uint64
+}
+
+// Queue is a dispatch queue of pending requests.
+type Queue[T any] struct {
+	cfg     Config
+	entries []entry[T]
+	seq     uint64
+
+	forced uint64 // dispatches forced by the age cap
+}
+
+// NewQueue builds a queue with the given configuration.
+func NewQueue[T any](cfg Config) *Queue[T] {
+	if cfg.Window < 0 {
+		cfg.Window = 0
+	}
+	return &Queue[T]{cfg: cfg}
+}
+
+// Config returns the queue configuration.
+func (q *Queue[T]) Config() Config { return q.cfg }
+
+// Len reports the number of queued requests.
+func (q *Queue[T]) Len() int { return len(q.entries) }
+
+// ForcedDispatches reports how many dispatches the age cap forced.
+func (q *Queue[T]) ForcedDispatches() uint64 { return q.forced }
+
+// Push enqueues item, recording its arrival time for age accounting.
+func (q *Queue[T]) Push(item T, now float64) {
+	q.seq++
+	q.entries = append(q.entries, entry[T]{item: item, arrival: now, sequence: q.seq})
+}
+
+// Peek returns the item a Pop would dispatch, without removing it.
+// ok is false when the queue is empty.
+func (q *Queue[T]) Peek(now float64, cost func(T) float64) (item T, ok bool) {
+	i := q.pickIndex(now, cost)
+	if i < 0 {
+		var zero T
+		return zero, false
+	}
+	return q.entries[i].item, true
+}
+
+// Pop removes and returns the next request to dispatch. For FCFS the
+// cost function is ignored (and may be nil); for SSTF/SPTF it must map a
+// request to its dispatch cost at `now`. Ties break by arrival order.
+// ok is false when the queue is empty.
+func (q *Queue[T]) Pop(now float64, cost func(T) float64) (item T, ok bool) {
+	i := q.pickIndex(now, cost)
+	if i < 0 {
+		var zero T
+		return zero, false
+	}
+	item = q.entries[i].item
+	q.entries = append(q.entries[:i], q.entries[i+1:]...)
+	return item, true
+}
+
+// pickIndex returns the index of the entry to dispatch, or -1 if empty.
+func (q *Queue[T]) pickIndex(now float64, cost func(T) float64) int {
+	if len(q.entries) == 0 {
+		return -1
+	}
+	if q.cfg.Policy == FCFS {
+		return 0
+	}
+	// Anti-starvation: the front entry is always the oldest.
+	if q.cfg.MaxAgeMs > 0 && now-q.entries[0].arrival >= q.cfg.MaxAgeMs {
+		q.forced++
+		return 0
+	}
+	if cost == nil {
+		panic("sched: cost function required for " + q.cfg.Policy.String())
+	}
+	limit := len(q.entries)
+	if q.cfg.Window > 0 && limit > q.cfg.Window {
+		limit = q.cfg.Window
+	}
+	best := 0
+	bestCost := cost(q.entries[0].item)
+	for i := 1; i < limit; i++ {
+		if c := cost(q.entries[i].item); c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best
+}
+
+// Items invokes fn for every queued item in arrival order. It exists for
+// statistics and tests; fn must not mutate the queue.
+func (q *Queue[T]) Items(fn func(T)) {
+	for _, e := range q.entries {
+		fn(e.item)
+	}
+}
+
+// OldestArrival reports the arrival time of the oldest queued request.
+// ok is false when the queue is empty.
+func (q *Queue[T]) OldestArrival() (at float64, ok bool) {
+	if len(q.entries) == 0 {
+		return 0, false
+	}
+	return q.entries[0].arrival, true
+}

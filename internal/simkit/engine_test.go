@@ -1,0 +1,231 @@
+package simkit
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7.5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order %v, want ascending", got)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	e := New()
+	e.At(12.25, func() {
+		if e.Now() != 12.25 {
+			t.Errorf("Now() inside event = %v, want 12.25", e.Now())
+		}
+	})
+	e.Run()
+	if e.Now() != 12.25 {
+		t.Fatalf("final Now() = %v, want 12.25", e.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var at float64
+	e.At(10, func() {
+		e.After(2.5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 12.5 {
+		t.Fatalf("After fired at %v, want 12.5", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEventsMayScheduleMoreEvents(t *testing.T) {
+	e := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			e.After(1, chain)
+		}
+	}
+	e.At(0, chain)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("chained events ran %d times, want 100", count)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("final time %v, want 99", e.Now())
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by deadline 3, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() after RunUntil(3) = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	e := New()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now() = %v, want 42", e.Now())
+	}
+}
+
+func TestStepReportsWork(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatalf("Step() on empty engine reported work")
+	}
+	e.At(1, func() {})
+	if !e.Step() {
+		t.Fatalf("Step() with one event reported no work")
+	}
+	if e.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", e.Fired())
+	}
+}
+
+func TestMaxPendingHighWaterMark(t *testing.T) {
+	e := New()
+	for i := 0; i < 37; i++ {
+		e.At(float64(i), func() {})
+	}
+	e.Run()
+	if e.MaxPending() != 37 {
+		t.Fatalf("MaxPending() = %d, want 37", e.MaxPending())
+	}
+}
+
+// Property: for any set of event times, events fire in nondecreasing time
+// order and the engine fires exactly len(times) events.
+func TestPropertyFiringOrderSorted(t *testing.T) {
+	f := func(times []float64) bool {
+		e := New()
+		var fired []float64
+		n := 0
+		for _, raw := range times {
+			at := raw
+			if at < 0 {
+				at = -at
+			}
+			if at != at || at > 1e15 { // NaN or absurd
+				continue
+			}
+			n++
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != n {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving At calls from inside events preserves global
+// time ordering.
+func TestPropertyNestedSchedulingSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := New()
+	var fired []float64
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if depth > 3 {
+			return
+		}
+		for i := 0; i < 3; i++ {
+			d := rng.Float64() * 10
+			e.After(d, func() {
+				fired = append(fired, e.Now())
+				spawn(depth + 1)
+			})
+		}
+	}
+	e.At(0, func() { spawn(0) })
+	e.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("nested scheduling produced out-of-order firing")
+	}
+	if len(fired) == 0 {
+		t.Fatalf("no events fired")
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.At(float64(j%97), func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,218 @@
+// Package smart models the Self-Monitoring Analysis and Reporting
+// Technology sensors the paper's §8 relies on for graceful degradation:
+// drive firmware watches per-component health attributes and, when a
+// trend predicts an impending failure, deconfigures the failing hardware
+// (an arm assembly, in the intra-disk parallel drive) while the rest of
+// the drive keeps servicing I/O.
+//
+// The model is deliberately simple and deterministic: each monitored
+// component carries a set of attribute readings that random-walk within
+// a healthy band; a component marked degrading drifts one attribute
+// toward its threshold, and Predict fires when the smoothed reading
+// crosses it. A Sentry polls monitors on a simulation engine and invokes
+// a deconfiguration callback — wiring SMART to core.ParallelDrive.FailArm
+// reproduces the paper's scenario end to end.
+package smart
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/simkit"
+)
+
+// Attribute identifies one monitored health metric.
+type Attribute int
+
+// The attributes the model tracks (a subset of real SMART attributes
+// relevant to the arm/head assembly).
+const (
+	ReallocatedSectors Attribute = iota
+	SeekErrorRate
+	SpinRetries
+	HeadFlyingHours
+	numAttributes
+)
+
+// String names the attribute.
+func (a Attribute) String() string {
+	switch a {
+	case ReallocatedSectors:
+		return "Reallocated-Sectors"
+	case SeekErrorRate:
+		return "Seek-Error-Rate"
+	case SpinRetries:
+		return "Spin-Retries"
+	case HeadFlyingHours:
+		return "Head-Flying-Hours"
+	}
+	return fmt.Sprintf("Attribute(%d)", int(a))
+}
+
+// Attributes lists all monitored attributes.
+func Attributes() []Attribute {
+	out := make([]Attribute, numAttributes)
+	for i := range out {
+		out[i] = Attribute(i)
+	}
+	return out
+}
+
+// DefaultThresholds returns the trip points used when none are given.
+func DefaultThresholds() map[Attribute]float64 {
+	return map[Attribute]float64{
+		ReallocatedSectors: 50,
+		SeekErrorRate:      0.05,
+		SpinRetries:        8,
+		HeadFlyingHours:    40000,
+	}
+}
+
+// Monitor tracks one component's attribute readings.
+type Monitor struct {
+	rng        *rand.Rand
+	thresholds map[Attribute]float64
+	readings   [numAttributes]float64
+	smoothed   [numAttributes]float64
+
+	degrading Attribute
+	failing   bool
+	driftRate float64
+	tripped   bool
+}
+
+// NewMonitor builds a healthy monitor with the given deterministic seed.
+func NewMonitor(seed int64, thresholds map[Attribute]float64) *Monitor {
+	if thresholds == nil {
+		thresholds = DefaultThresholds()
+	}
+	m := &Monitor{rng: rand.New(rand.NewSource(seed)), thresholds: thresholds}
+	// Healthy baselines well below thresholds.
+	m.readings[ReallocatedSectors] = 2
+	m.readings[SeekErrorRate] = 0.002
+	m.readings[SpinRetries] = 0
+	m.readings[HeadFlyingHours] = 1000
+	m.smoothed = m.readings
+	return m
+}
+
+// BeginDegrading marks the component as failing: the given attribute
+// drifts toward its threshold at rate units per step.
+func (m *Monitor) BeginDegrading(attr Attribute, rate float64) error {
+	if attr < 0 || attr >= numAttributes {
+		return fmt.Errorf("smart: unknown attribute %d", int(attr))
+	}
+	if rate <= 0 {
+		return fmt.Errorf("smart: drift rate %v must be positive", rate)
+	}
+	m.failing = true
+	m.degrading = attr
+	m.driftRate = rate
+	return nil
+}
+
+// Step advances the monitor by one sampling interval.
+func (m *Monitor) Step() {
+	for a := Attribute(0); a < numAttributes; a++ {
+		// Healthy attributes random-walk with tiny, mean-reverting noise.
+		noise := (m.rng.Float64() - 0.5) * 0.01 * m.threshold(a)
+		m.readings[a] += noise
+		if m.readings[a] < 0 {
+			m.readings[a] = 0
+		}
+	}
+	if m.failing {
+		m.readings[m.degrading] += m.driftRate
+	}
+	// Exponential smoothing keeps single noisy samples from tripping.
+	const alpha = 0.3
+	for a := Attribute(0); a < numAttributes; a++ {
+		m.smoothed[a] = alpha*m.readings[a] + (1-alpha)*m.smoothed[a]
+	}
+	if !m.tripped && m.predictNow() {
+		m.tripped = true
+	}
+}
+
+func (m *Monitor) threshold(a Attribute) float64 {
+	if t, ok := m.thresholds[a]; ok {
+		return t
+	}
+	return 1
+}
+
+func (m *Monitor) predictNow() bool {
+	for a := Attribute(0); a < numAttributes; a++ {
+		if t, ok := m.thresholds[a]; ok && m.smoothed[a] >= t {
+			return true
+		}
+	}
+	return false
+}
+
+// Predict reports whether the monitor has (ever) predicted a failure.
+// The prediction latches: firmware acts once and deconfigures.
+func (m *Monitor) Predict() bool { return m.tripped }
+
+// Reading reports the current smoothed value of one attribute.
+func (m *Monitor) Reading(a Attribute) float64 {
+	if a < 0 || a >= numAttributes {
+		return 0
+	}
+	return m.smoothed[a]
+}
+
+// Sentry polls a set of monitors on the simulation clock and invokes
+// onPredict exactly once per monitor that predicts a failure.
+type Sentry struct {
+	eng       *simkit.Engine
+	monitors  []*Monitor
+	periodMs  float64
+	onPredict func(component int)
+	notified  []bool
+	stopped   bool
+}
+
+// NewSentry builds a sentry polling every periodMs.
+func NewSentry(eng *simkit.Engine, monitors []*Monitor, periodMs float64, onPredict func(int)) (*Sentry, error) {
+	if len(monitors) == 0 {
+		return nil, fmt.Errorf("smart: sentry needs monitors")
+	}
+	if periodMs <= 0 {
+		return nil, fmt.Errorf("smart: period %v must be positive", periodMs)
+	}
+	if onPredict == nil {
+		return nil, fmt.Errorf("smart: sentry needs a prediction callback")
+	}
+	return &Sentry{
+		eng:       eng,
+		monitors:  monitors,
+		periodMs:  periodMs,
+		onPredict: onPredict,
+		notified:  make([]bool, len(monitors)),
+	}, nil
+}
+
+// Start schedules the polling loop until `untilMs` of simulated time.
+func (s *Sentry) Start(untilMs float64) {
+	var tick func()
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		for i, m := range s.monitors {
+			m.Step()
+			if m.Predict() && !s.notified[i] {
+				s.notified[i] = true
+				s.onPredict(i)
+			}
+		}
+		if s.eng.Now()+s.periodMs <= untilMs {
+			s.eng.After(s.periodMs, tick)
+		}
+	}
+	s.eng.After(s.periodMs, tick)
+}
+
+// Stop halts polling.
+func (s *Sentry) Stop() { s.stopped = true }

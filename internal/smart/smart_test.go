@@ -1,0 +1,184 @@
+package smart
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/simkit"
+	"repro/internal/trace"
+)
+
+func TestAttributeNames(t *testing.T) {
+	if ReallocatedSectors.String() != "Reallocated-Sectors" {
+		t.Fatalf("name wrong")
+	}
+	if Attribute(99).String() != "Attribute(99)" {
+		t.Fatalf("fallback wrong")
+	}
+	if len(Attributes()) != int(numAttributes) {
+		t.Fatalf("Attributes() incomplete")
+	}
+}
+
+func TestHealthyMonitorDoesNotTrip(t *testing.T) {
+	m := NewMonitor(1, nil)
+	for i := 0; i < 10000; i++ {
+		m.Step()
+	}
+	if m.Predict() {
+		t.Fatalf("healthy monitor predicted a failure")
+	}
+}
+
+func TestDegradingMonitorTrips(t *testing.T) {
+	m := NewMonitor(2, nil)
+	if err := m.BeginDegrading(ReallocatedSectors, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for ; steps < 1000 && !m.Predict(); steps++ {
+		m.Step()
+	}
+	if !m.Predict() {
+		t.Fatalf("degrading monitor never tripped")
+	}
+	// The drift is 0.5/step toward a threshold of 50 from ~2, so the trip
+	// should land near 100 steps (smoothing adds a little lag).
+	if steps < 50 || steps > 300 {
+		t.Fatalf("tripped after %d steps, want ~100", steps)
+	}
+	if m.Reading(ReallocatedSectors) < 40 {
+		t.Fatalf("smoothed reading %v below plausible trip level", m.Reading(ReallocatedSectors))
+	}
+}
+
+func TestBeginDegradingValidation(t *testing.T) {
+	m := NewMonitor(3, nil)
+	if err := m.BeginDegrading(Attribute(99), 1); err == nil {
+		t.Fatalf("unknown attribute accepted")
+	}
+	if err := m.BeginDegrading(SeekErrorRate, 0); err == nil {
+		t.Fatalf("zero rate accepted")
+	}
+}
+
+func TestMonitorDeterministic(t *testing.T) {
+	a := NewMonitor(7, nil)
+	b := NewMonitor(7, nil)
+	for i := 0; i < 500; i++ {
+		a.Step()
+		b.Step()
+	}
+	for _, attr := range Attributes() {
+		if a.Reading(attr) != b.Reading(attr) {
+			t.Fatalf("same-seed monitors diverged on %v", attr)
+		}
+	}
+}
+
+func TestSentryValidation(t *testing.T) {
+	eng := simkit.New()
+	cb := func(int) {}
+	if _, err := NewSentry(eng, nil, 100, cb); err == nil {
+		t.Fatalf("empty monitor set accepted")
+	}
+	if _, err := NewSentry(eng, []*Monitor{NewMonitor(1, nil)}, 0, cb); err == nil {
+		t.Fatalf("zero period accepted")
+	}
+	if _, err := NewSentry(eng, []*Monitor{NewMonitor(1, nil)}, 100, nil); err == nil {
+		t.Fatalf("nil callback accepted")
+	}
+}
+
+func TestSentryFiresOncePerComponent(t *testing.T) {
+	eng := simkit.New()
+	m0 := NewMonitor(1, nil) // stays healthy
+	m1 := NewMonitor(2, nil)
+	if err := m1.BeginDegrading(SpinRetries, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	fired := map[int]int{}
+	s, err := NewSentry(eng, []*Monitor{m0, m1}, 100, func(i int) { fired[i]++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(60000)
+	eng.Run()
+	if fired[0] != 0 {
+		t.Fatalf("healthy component reported %d times", fired[0])
+	}
+	if fired[1] != 1 {
+		t.Fatalf("degrading component reported %d times, want exactly 1", fired[1])
+	}
+}
+
+func TestSentryStop(t *testing.T) {
+	eng := simkit.New()
+	m := NewMonitor(4, nil)
+	if err := m.BeginDegrading(SpinRetries, 10); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	s, err := NewSentry(eng, []*Monitor{m}, 100, func(int) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Stop() // stopped before the first tick fires
+	s.Start(10000)
+	eng.Run()
+	if fired != 0 {
+		t.Fatalf("stopped sentry fired %d times", fired)
+	}
+}
+
+// End-to-end §8 scenario: a SMART prediction deconfigures one actuator of
+// a running intra-disk parallel drive; service continues.
+func TestSMARTDrivenArmDeconfiguration(t *testing.T) {
+	eng := simkit.New()
+	model := disk.BarracudaES()
+	drv, err := core.NewSA(eng, model, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitors := make([]*Monitor, 4)
+	for i := range monitors {
+		monitors[i] = NewMonitor(int64(10+i), nil)
+	}
+	// Arm 2's head starts accumulating seek errors.
+	if err := monitors[2].BeginDegrading(SeekErrorRate, 0.0005); err != nil {
+		t.Fatal(err)
+	}
+	deconfigured := -1
+	sentry, err := NewSentry(eng, monitors, 250, func(i int) {
+		deconfigured = i
+		if err := drv.FailArm(i); err != nil {
+			t.Errorf("FailArm(%d): %v", i, err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentry.Start(120000)
+
+	completed := 0
+	for i := 0; i < 500; i++ {
+		at := float64(i) * 240
+		lba := int64(i) * 1000000 % (drv.Capacity() - 64)
+		eng.At(at, func() {
+			drv.Submit(trace.Request{LBA: lba, Sectors: 8, Read: i%2 == 0},
+				func(float64) { completed++ })
+		})
+	}
+	eng.Run()
+
+	if deconfigured != 2 {
+		t.Fatalf("deconfigured arm %d, want 2", deconfigured)
+	}
+	if drv.HealthyArms() != 3 {
+		t.Fatalf("HealthyArms = %d, want 3", drv.HealthyArms())
+	}
+	if completed != 500 {
+		t.Fatalf("completed %d of 500 requests through the failure", completed)
+	}
+}

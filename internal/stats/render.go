@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderHistogram writes a text histogram of the sample over the given
+// bucket edges (plus the overflow bucket), with bars scaled to width
+// characters — the terminal rendering of the paper's PDF plots.
+func RenderHistogram(w io.Writer, s *Sample, edges []float64, width int) error {
+	if width <= 0 {
+		return fmt.Errorf("stats: width %d must be positive", width)
+	}
+	if len(edges) == 0 {
+		return fmt.Errorf("stats: need bucket edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return fmt.Errorf("stats: edges not increasing at %d", i)
+		}
+	}
+	pdf := s.PDF(edges)
+	max := 0.0
+	for _, v := range pdf {
+		if v > max {
+			max = v
+		}
+	}
+	for i, v := range pdf {
+		var label string
+		if i < len(edges) {
+			label = fmt.Sprintf("<=%g", edges[i])
+		} else {
+			label = fmt.Sprintf("%g+", edges[len(edges)-1])
+		}
+		bar := 0
+		if max > 0 {
+			bar = int(v / max * float64(width))
+		}
+		if _, err := fmt.Fprintf(w, "%8s | %-*s %.3f\n",
+			label, width, strings.Repeat("#", bar), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCDF writes a text CDF staircase over the paper's response
+// buckets.
+func RenderCDF(w io.Writer, s *Sample, width int) error {
+	if width <= 0 {
+		return fmt.Errorf("stats: width %d must be positive", width)
+	}
+	cdf := s.ResponseCDF()
+	for i, v := range cdf {
+		bar := int(v * float64(width))
+		if _, err := fmt.Fprintf(w, "<=%-5g | %-*s %.3f\n",
+			ResponseBucketEdgesMs[i], width, strings.Repeat("#", bar), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge returns a new sample holding all observations of the inputs
+// (used to combine per-phase or per-device samples).
+func Merge(samples ...*Sample) *Sample {
+	out := &Sample{}
+	for _, s := range samples {
+		if s == nil {
+			continue
+		}
+		out.xs = append(out.xs, s.xs...)
+	}
+	out.sorted = false
+	return out
+}

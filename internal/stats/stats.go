@@ -1,0 +1,193 @@
+// Package stats provides the response-time statistics the paper reports:
+// cumulative distribution functions over the paper's bucket edges
+// (Figures 2, 4, 5, 7), probability density functions of rotational
+// latency (Figure 5), percentiles (Figure 8 uses the 90th), and summary
+// statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ResponseBucketEdgesMs are the CDF bucket edges (in ms) the paper's
+// response-time figures use; the final implicit bucket is "200+".
+var ResponseBucketEdgesMs = []float64{5, 10, 20, 40, 60, 90, 120, 150, 200}
+
+// RotLatencyBucketEdgesMs are the PDF bucket edges the paper's Figure 5
+// rotational-latency plots use.
+var RotLatencyBucketEdgesMs = []float64{1, 3, 5, 7, 8, 9, 11}
+
+// Sample accumulates observations (response times, latencies, ...).
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// Count reports the number of observations.
+func (s *Sample) Count() int { return len(s.xs) }
+
+// Mean reports the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Max reports the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	var m float64
+	for _, x := range s.xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev reports the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	mu := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile reports the p-th percentile (p in [0,100]) using the
+// nearest-rank method. It panics on an empty sample or p out of range.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,100]", p))
+	}
+	s.ensureSorted()
+	if p == 0 {
+		return s.xs[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.xs))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.xs[rank-1]
+}
+
+// FractionAtMost reports the fraction of observations <= x.
+func (s *Sample) FractionAtMost(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.xs))
+}
+
+// CDF evaluates the cumulative fractions at the given bucket edges.
+// The result has len(edges) entries; the implicit overflow bucket is
+// 1 - last entry.
+func (s *Sample) CDF(edges []float64) []float64 {
+	out := make([]float64, len(edges))
+	for i, e := range edges {
+		out[i] = s.FractionAtMost(e)
+	}
+	return out
+}
+
+// PDF evaluates the per-bucket probability mass over the given edges:
+// entry 0 covers (-inf, edges[0]], entry i covers (edges[i-1], edges[i]],
+// and the final extra entry is the overflow mass.
+func (s *Sample) PDF(edges []float64) []float64 {
+	out := make([]float64, len(edges)+1)
+	if len(s.xs) == 0 {
+		return out
+	}
+	prev := 0.0
+	for i, e := range edges {
+		c := s.FractionAtMost(e)
+		out[i] = c - prev
+		prev = c
+	}
+	out[len(edges)] = 1 - prev
+	return out
+}
+
+// ResponseCDF evaluates the CDF over the paper's response-time buckets.
+func (s *Sample) ResponseCDF() []float64 { return s.CDF(ResponseBucketEdgesMs) }
+
+// RotLatencyPDF evaluates the PDF over the paper's rotational-latency
+// buckets.
+func (s *Sample) RotLatencyPDF() []float64 { return s.PDF(RotLatencyBucketEdgesMs) }
+
+// Summary is a compact numeric summary of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	P50    float64
+	P90    float64
+	P99    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes the Summary (zero value for an empty sample).
+func (s *Sample) Summarize() Summary {
+	if s.Count() == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count:  s.Count(),
+		Mean:   s.Mean(),
+		P50:    s.Percentile(50),
+		P90:    s.Percentile(90),
+		P99:    s.Percentile(99),
+		Max:    s.Max(),
+		StdDev: s.StdDev(),
+	}
+}
+
+// String renders the summary on one line.
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f sd=%.2f",
+		sm.Count, sm.Mean, sm.P50, sm.P90, sm.P99, sm.Max, sm.StdDev)
+}
+
+// FormatCDFRow renders a CDF as the paper's figures tabulate it:
+// one "<=edge:frac" pair per bucket plus the overflow bucket.
+func FormatCDFRow(edges, cdf []float64) string {
+	var b strings.Builder
+	for i, e := range edges {
+		fmt.Fprintf(&b, "<=%g:%.3f ", e, cdf[i])
+	}
+	if len(cdf) == len(edges) && len(edges) > 0 {
+		fmt.Fprintf(&b, "%g+:%.3f", edges[len(edges)-1], 1-cdf[len(edges)-1])
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,119 @@
+package thermal
+
+import (
+	"testing"
+
+	"repro/internal/power"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default envelope invalid: %v", err)
+	}
+	bad := []Envelope{
+		{AmbientC: 38, ResistanceC: 0, LimitC: 55},
+		{AmbientC: 60, ResistanceC: 1, LimitC: 55},
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Fatalf("accepted invalid envelope %+v", e)
+		}
+	}
+}
+
+func TestTemperatureLinearInPower(t *testing.T) {
+	e := Default()
+	if got := e.TemperatureC(0); got != e.AmbientC {
+		t.Fatalf("zero-power temperature %v", got)
+	}
+	t10 := e.TemperatureC(10)
+	t20 := e.TemperatureC(20)
+	if (t20 - e.AmbientC) != 2*(t10-e.AmbientC) {
+		t.Fatalf("temperature not linear: %v %v", t10, t20)
+	}
+}
+
+func TestHeadroomConsistent(t *testing.T) {
+	e := Default()
+	h := e.HeadroomW()
+	if !e.Within(h - 0.01) {
+		t.Fatalf("power just under headroom rejected")
+	}
+	if e.Within(h + 0.01) {
+		t.Fatalf("power just over headroom accepted")
+	}
+}
+
+// The paper's premise: a Barracuda-class drive fits the envelope at
+// 7200 RPM, and even its 4-actuator extension fits (§3: peak ~34 W is
+// "still significant" but workable), while pushing the spindle to
+// 15000 RPM on the same platters does not.
+func TestPaperPremise(t *testing.T) {
+	e := Default()
+	coeff := power.Default()
+
+	conv, err := power.NewModel(coeff, power.DriveSpec{
+		Platters: 4, DiameterIn: 3.7, RPM: 7200, Actuators: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.CheckModel(conv); !ok {
+		t.Fatalf("conventional 7200 RPM drive outside envelope")
+	}
+
+	par4, err := power.NewModel(coeff, power.DriveSpec{
+		Platters: 4, DiameterIn: 3.7, RPM: 7200, Actuators: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temp, ok := e.CheckModel(par4); !ok {
+		t.Fatalf("4-actuator 7200 RPM drive outside envelope (%.1f C)", temp)
+	}
+
+	fast, err := power.NewModel(coeff, power.DriveSpec{
+		Platters: 4, DiameterIn: 3.7, RPM: 15000, Actuators: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.CheckModel(fast); ok {
+		t.Fatalf("15000 RPM on 3.7-inch platters fit the envelope; the paper's premise fails")
+	}
+}
+
+func TestMaxRPM(t *testing.T) {
+	e := Default()
+	coeff := power.Default()
+	max1, err := e.MaxRPM(coeff, 4, 3.7, 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max1 < 7200 || max1 > 16000 {
+		t.Fatalf("conventional max RPM %v outside plausible band", max1)
+	}
+	// Extra actuators eat thermal headroom: the parallel drive's ceiling
+	// is lower.
+	max4, err := e.MaxRPM(coeff, 4, 3.7, 4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max4 >= max1 {
+		t.Fatalf("4-actuator max RPM %v not below conventional %v", max4, max1)
+	}
+	if max4 < 7200 {
+		t.Fatalf("4-actuator drive cannot even reach 7200 RPM (%v); calibration off", max4)
+	}
+}
+
+func TestMaxRPMValidation(t *testing.T) {
+	e := Default()
+	if _, err := e.MaxRPM(power.Default(), 4, 3.7, 1, 0); err == nil {
+		t.Fatalf("zero step accepted")
+	}
+	bad := Envelope{AmbientC: 60, ResistanceC: 1, LimitC: 55}
+	if _, err := bad.MaxRPM(power.Default(), 4, 3.7, 1, 100); err == nil {
+		t.Fatalf("invalid envelope accepted")
+	}
+}

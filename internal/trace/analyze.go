@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Stats summarizes the statistical shape of a trace — the same
+// quantities the workload synthesizers control, so a synthesized trace
+// can be validated against its spec and a foreign trace can be
+// characterized before replay.
+type Stats struct {
+	Requests           int
+	DurationMs         float64
+	MeanInterArrivalMs float64
+	CV2InterArrival    float64 // squared coefficient of variation (1 = Poisson)
+	ReadFraction       float64
+	MeanSizeSectors    float64
+	MaxSizeSectors     int
+	SeqFraction        float64 // requests continuing the previous request on their disk
+	Disks              int     // 1 + highest disk number
+	DiskLoadCV         float64 // coefficient of variation of per-disk request counts
+	FootprintSectors   int64   // highest block touched (per-disk max)
+}
+
+// Analyze computes Stats over a trace.
+func Analyze(t Trace) Stats {
+	var s Stats
+	s.Requests = len(t)
+	if len(t) == 0 {
+		return s
+	}
+	s.Disks = t.MaxDisk() + 1
+	s.DurationMs = t.DurationMs()
+	s.MeanInterArrivalMs = t.MeanInterArrivalMs()
+	s.ReadFraction = t.ReadFraction()
+
+	// Inter-arrival variability.
+	if len(t) > 2 && s.MeanInterArrivalMs > 0 {
+		var ss float64
+		prev := t[0].ArrivalMs
+		for _, r := range t[1:] {
+			d := r.ArrivalMs - prev - s.MeanInterArrivalMs
+			ss += d * d
+			prev = r.ArrivalMs
+		}
+		variance := ss / float64(len(t)-1)
+		s.CV2InterArrival = variance / (s.MeanInterArrivalMs * s.MeanInterArrivalMs)
+	}
+
+	// Sizes, sequentiality, footprint, per-disk load.
+	lastEnd := make(map[int]int64, s.Disks)
+	perDisk := make(map[int]int, s.Disks)
+	var sizeSum int64
+	seq := 0
+	for _, r := range t {
+		sizeSum += int64(r.Sectors)
+		if r.Sectors > s.MaxSizeSectors {
+			s.MaxSizeSectors = r.Sectors
+		}
+		if e, ok := lastEnd[r.Disk]; ok && e == r.LBA {
+			seq++
+		}
+		lastEnd[r.Disk] = r.End()
+		perDisk[r.Disk]++
+		if r.End() > s.FootprintSectors {
+			s.FootprintSectors = r.End()
+		}
+	}
+	s.MeanSizeSectors = float64(sizeSum) / float64(len(t))
+	s.SeqFraction = float64(seq) / float64(len(t))
+
+	if s.Disks > 1 {
+		mean := float64(len(t)) / float64(s.Disks)
+		var ss float64
+		for d := 0; d < s.Disks; d++ {
+			diff := float64(perDisk[d]) - mean
+			ss += diff * diff
+		}
+		sd := ss / float64(s.Disks)
+		s.DiskLoadCV = math.Sqrt(sd) / mean
+	}
+	return s
+}
+
+// WriteStats renders the stats as a labeled table.
+func WriteStats(w io.Writer, label string, s Stats) {
+	fmt.Fprintf(w, "%s:\n", label)
+	fmt.Fprintf(w, "  requests            %d\n", s.Requests)
+	fmt.Fprintf(w, "  duration            %.1f s\n", s.DurationMs/1000)
+	fmt.Fprintf(w, "  mean inter-arrival  %.3f ms (CV^2 %.2f)\n", s.MeanInterArrivalMs, s.CV2InterArrival)
+	fmt.Fprintf(w, "  read fraction       %.3f\n", s.ReadFraction)
+	fmt.Fprintf(w, "  mean size           %.1f sectors (max %d)\n", s.MeanSizeSectors, s.MaxSizeSectors)
+	fmt.Fprintf(w, "  sequential fraction %.3f\n", s.SeqFraction)
+	fmt.Fprintf(w, "  disks               %d (load CV %.2f)\n", s.Disks, s.DiskLoadCV)
+	fmt.Fprintf(w, "  footprint           %.2f GB\n", float64(s.FootprintSectors)*512/1e9)
+}
+
+// InterArrivalPercentiles reports chosen percentiles of the trace's
+// inter-arrival gaps (useful for burstiness inspection).
+func InterArrivalPercentiles(t Trace, ps []float64) ([]float64, error) {
+	if len(t) < 2 {
+		return nil, fmt.Errorf("trace: need at least two requests")
+	}
+	gaps := make([]float64, 0, len(t)-1)
+	prev := t[0].ArrivalMs
+	for _, r := range t[1:] {
+		gaps = append(gaps, r.ArrivalMs-prev)
+		prev = r.ArrivalMs
+	}
+	sort.Float64s(gaps)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, fmt.Errorf("trace: percentile %v out of range", p)
+		}
+		idx := int(p / 100 * float64(len(gaps)-1))
+		out[i] = gaps[idx]
+	}
+	return out, nil
+}

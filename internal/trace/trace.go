@@ -1,0 +1,188 @@
+// Package trace defines the I/O request stream representation used
+// throughout the simulator, a plain-text trace format (one request per
+// line, in the spirit of the SPC format the UMass repository traces use),
+// and synthesizers that generate streams shaped like the paper's four
+// commercial workloads (Table 2).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Request is one I/O request presented to a storage system.
+type Request struct {
+	ArrivalMs float64 // arrival time at the storage system, ms
+	Disk      int     // target disk within the traced array (MD routing)
+	LBA       int64   // first logical block on that disk
+	Sectors   int     // transfer length in sectors
+	Read      bool    // true for reads, false for writes
+}
+
+// End reports the first block past the request.
+func (r Request) End() int64 { return r.LBA + int64(r.Sectors) }
+
+// Validate reports the first problem with the request, if any.
+func (r Request) Validate() error {
+	switch {
+	case r.ArrivalMs < 0:
+		return fmt.Errorf("trace: negative arrival %v", r.ArrivalMs)
+	case r.Disk < 0:
+		return fmt.Errorf("trace: negative disk %d", r.Disk)
+	case r.LBA < 0:
+		return fmt.Errorf("trace: negative lba %d", r.LBA)
+	case r.Sectors <= 0:
+		return fmt.Errorf("trace: non-positive length %d", r.Sectors)
+	}
+	return nil
+}
+
+// Trace is a request stream ordered by arrival time.
+type Trace []Request
+
+// Sort orders the trace by arrival time (stable, so equal-time requests
+// keep their generation order).
+func (t Trace) Sort() {
+	sort.SliceStable(t, func(i, j int) bool { return t[i].ArrivalMs < t[j].ArrivalMs })
+}
+
+// Sorted reports whether the trace is in arrival order.
+func (t Trace) Sorted() bool {
+	return sort.SliceIsSorted(t, func(i, j int) bool { return t[i].ArrivalMs < t[j].ArrivalMs })
+}
+
+// DurationMs reports the arrival span of the trace.
+func (t Trace) DurationMs() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	return t[len(t)-1].ArrivalMs - t[0].ArrivalMs
+}
+
+// MeanInterArrivalMs reports the mean time between consecutive arrivals.
+func (t Trace) MeanInterArrivalMs() float64 {
+	if len(t) < 2 {
+		return 0
+	}
+	return t.DurationMs() / float64(len(t)-1)
+}
+
+// ReadFraction reports the fraction of requests that are reads.
+func (t Trace) ReadFraction() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	reads := 0
+	for _, r := range t {
+		if r.Read {
+			reads++
+		}
+	}
+	return float64(reads) / float64(len(t))
+}
+
+// MaxDisk reports the highest disk number referenced (-1 when empty).
+func (t Trace) MaxDisk() int {
+	max := -1
+	for _, r := range t {
+		if r.Disk > max {
+			max = r.Disk
+		}
+	}
+	return max
+}
+
+// Remap returns a copy of the trace with every request retargeted to a
+// single disk (disk 0) at LBA offset[r.Disk]+r.LBA. This implements the
+// paper's MD→HC-SD migration layout: the high-capacity drive is
+// sequentially populated with each original disk's data in disk order.
+func (t Trace) Remap(offsets []int64) (Trace, error) {
+	out := make(Trace, len(t))
+	for i, r := range t {
+		if r.Disk >= len(offsets) {
+			return nil, fmt.Errorf("trace: request %d targets disk %d but only %d offsets given",
+				i, r.Disk, len(offsets))
+		}
+		r.LBA += offsets[r.Disk]
+		r.Disk = 0
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Write emits the trace in the text format:
+//
+//	# optional comments
+//	<arrival-ms> <disk> <lba> <sectors> <R|W>
+func Write(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t {
+		op := "W"
+		if r.Read {
+			op = "R"
+		}
+		if _, err := fmt.Fprintf(bw, "%.6f %d %d %d %s\n",
+			r.ArrivalMs, r.Disk, r.LBA, r.Sectors, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text trace format. Blank lines and lines starting with
+// '#' are skipped.
+func Read(r io.Reader) (Trace, error) {
+	var t Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		arrival, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad arrival: %v", lineNo, err)
+		}
+		disk, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad disk: %v", lineNo, err)
+		}
+		lba, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad lba: %v", lineNo, err)
+		}
+		sectors, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad sectors: %v", lineNo, err)
+		}
+		var read bool
+		switch fields[4] {
+		case "R", "r":
+			read = true
+		case "W", "w":
+			read = false
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[4])
+		}
+		req := Request{ArrivalMs: arrival, Disk: disk, LBA: lba, Sectors: sectors, Read: read}
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		t = append(t, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,340 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestValidate(t *testing.T) {
+	good := Request{ArrivalMs: 1, Disk: 0, LBA: 10, Sectors: 8, Read: true}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	bad := []Request{
+		{ArrivalMs: -1, Sectors: 8},
+		{Disk: -1, Sectors: 8},
+		{LBA: -1, Sectors: 8},
+		{Sectors: 0},
+		{Sectors: -8},
+	}
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("invalid request accepted: %+v", r)
+		}
+	}
+}
+
+func TestRequestEnd(t *testing.T) {
+	r := Request{LBA: 100, Sectors: 8}
+	if r.End() != 108 {
+		t.Fatalf("End = %d, want 108", r.End())
+	}
+}
+
+func TestSortAndSorted(t *testing.T) {
+	tr := Trace{
+		{ArrivalMs: 3, Sectors: 1},
+		{ArrivalMs: 1, Sectors: 1},
+		{ArrivalMs: 2, Sectors: 1},
+	}
+	if tr.Sorted() {
+		t.Fatalf("unsorted trace reported sorted")
+	}
+	tr.Sort()
+	if !tr.Sorted() {
+		t.Fatalf("sorted trace reported unsorted")
+	}
+	if tr[0].ArrivalMs != 1 || tr[2].ArrivalMs != 3 {
+		t.Fatalf("sort order wrong: %+v", tr)
+	}
+}
+
+func TestTraceStatistics(t *testing.T) {
+	tr := Trace{
+		{ArrivalMs: 0, Sectors: 1, Read: true},
+		{ArrivalMs: 10, Sectors: 1, Read: false},
+		{ArrivalMs: 20, Sectors: 1, Read: true},
+	}
+	if d := tr.DurationMs(); d != 20 {
+		t.Fatalf("DurationMs = %v, want 20", d)
+	}
+	if m := tr.MeanInterArrivalMs(); m != 10 {
+		t.Fatalf("MeanInterArrivalMs = %v, want 10", m)
+	}
+	if f := tr.ReadFraction(); math.Abs(f-2.0/3) > 1e-12 {
+		t.Fatalf("ReadFraction = %v, want 2/3", f)
+	}
+	var empty Trace
+	if empty.DurationMs() != 0 || empty.MeanInterArrivalMs() != 0 || empty.ReadFraction() != 0 {
+		t.Fatalf("empty trace statistics nonzero")
+	}
+}
+
+func TestMaxDisk(t *testing.T) {
+	var empty Trace
+	if empty.MaxDisk() != -1 {
+		t.Fatalf("empty MaxDisk = %d, want -1", empty.MaxDisk())
+	}
+	tr := Trace{{Disk: 2, Sectors: 1}, {Disk: 7, Sectors: 1}, {Disk: 1, Sectors: 1}}
+	if tr.MaxDisk() != 7 {
+		t.Fatalf("MaxDisk = %d, want 7", tr.MaxDisk())
+	}
+}
+
+func TestRemapConcatenatesDisks(t *testing.T) {
+	tr := Trace{
+		{ArrivalMs: 0, Disk: 0, LBA: 5, Sectors: 1},
+		{ArrivalMs: 1, Disk: 1, LBA: 5, Sectors: 1},
+		{ArrivalMs: 2, Disk: 2, LBA: 5, Sectors: 1},
+	}
+	offsets := []int64{0, 1000, 2000}
+	out, err := tr.Remap(offsets)
+	if err != nil {
+		t.Fatalf("Remap: %v", err)
+	}
+	want := []int64{5, 1005, 2005}
+	for i, r := range out {
+		if r.Disk != 0 {
+			t.Fatalf("request %d still targets disk %d", i, r.Disk)
+		}
+		if r.LBA != want[i] {
+			t.Fatalf("request %d LBA %d, want %d", i, r.LBA, want[i])
+		}
+	}
+	// Original is untouched.
+	if tr[1].Disk != 1 || tr[1].LBA != 5 {
+		t.Fatalf("Remap mutated its input")
+	}
+}
+
+func TestRemapRejectsMissingOffsets(t *testing.T) {
+	tr := Trace{{Disk: 3, Sectors: 1}}
+	if _, err := tr.Remap([]int64{0, 10}); err == nil {
+		t.Fatalf("Remap accepted out-of-range disk")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := Trace{
+		{ArrivalMs: 0.5, Disk: 0, LBA: 100, Sectors: 8, Read: true},
+		{ArrivalMs: 1.25, Disk: 3, LBA: 999999, Sectors: 64, Read: false},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, tr)
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n0.5 0 100 8 R\n  \n# trailer\n1.0 1 200 16 w\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(tr) != 2 {
+		t.Fatalf("parsed %d requests, want 2", len(tr))
+	}
+	if !tr[0].Read || tr[1].Read {
+		t.Fatalf("ops parsed wrong: %+v", tr)
+	}
+}
+
+func TestReadRejectsMalformedLines(t *testing.T) {
+	cases := []string{
+		"0.5 0 100 8",         // too few fields
+		"0.5 0 100 8 R extra", // too many fields
+		"x 0 100 8 R",         // bad arrival
+		"0.5 x 100 8 R",       // bad disk
+		"0.5 0 x 8 R",         // bad lba
+		"0.5 0 100 x R",       // bad sectors
+		"0.5 0 100 8 Q",       // bad op
+		"-1 0 100 8 R",        // negative arrival
+		"0.5 0 100 0 R",       // zero length
+	}
+	for _, line := range cases {
+		if _, err := Read(strings.NewReader(line + "\n")); err == nil {
+			t.Fatalf("Read accepted malformed line %q", line)
+		}
+	}
+}
+
+// Property: any generated trace round-trips through the text format.
+func TestPropertyFormatRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		tr := make(Trace, n)
+		now := 0.0
+		for i := range tr {
+			now += rng.Float64() * 10
+			tr[i] = Request{
+				ArrivalMs: math.Round(now*1e6) / 1e6, // format precision
+				Disk:      rng.Intn(8),
+				LBA:       rng.Int63n(1 << 40),
+				Sectors:   1 + rng.Intn(256),
+				Read:      rng.Intn(2) == 0,
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		return err == nil && reflect.DeepEqual(tr, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadSpecsValid(t *testing.T) {
+	for _, w := range Workloads() {
+		if err := w.Validate(); err != nil {
+			t.Errorf("workload %s invalid: %v", w.Name, err)
+		}
+	}
+}
+
+func TestWorkloadTable2Configs(t *testing.T) {
+	cases := []struct {
+		spec  WorkloadSpec
+		disks int
+		rpm   float64
+	}{
+		{Financial(), 24, 10000},
+		{Websearch(), 6, 10000},
+		{TPCC(), 4, 10000},
+		{TPCH(), 15, 7200},
+	}
+	for _, tc := range cases {
+		if tc.spec.Disks != tc.disks || tc.spec.RPM != tc.rpm {
+			t.Errorf("%s: disks=%d rpm=%v, want %d/%v",
+				tc.spec.Name, tc.spec.Disks, tc.spec.RPM, tc.disks, tc.rpm)
+		}
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	w, err := WorkloadByName("TPC-H")
+	if err != nil || w.Name != "TPC-H" {
+		t.Fatalf("WorkloadByName(TPC-H) = %v, %v", w.Name, err)
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Fatalf("WorkloadByName accepted unknown name")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Websearch().WithRequests(2000)
+	a, err := Generate(spec, 42)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(spec, 42)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different traces")
+	}
+	c, _ := Generate(spec, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateMatchesSpecStatistics(t *testing.T) {
+	for _, spec := range Workloads() {
+		spec := spec.WithRequests(20000)
+		tr, err := Generate(spec, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(tr) != spec.Requests {
+			t.Fatalf("%s: generated %d requests, want %d", spec.Name, len(tr), spec.Requests)
+		}
+		if !tr.Sorted() {
+			t.Fatalf("%s: trace not in arrival order", spec.Name)
+		}
+		if rf := tr.ReadFraction(); math.Abs(rf-spec.ReadFraction) > 0.02 {
+			t.Errorf("%s: read fraction %v, want ~%v", spec.Name, rf, spec.ReadFraction)
+		}
+		// Bursts shorten some gaps but the mean stays within ~35%.
+		if m := tr.MeanInterArrivalMs(); m < spec.MeanInterArrivalMs*0.5 || m > spec.MeanInterArrivalMs*1.1 {
+			t.Errorf("%s: mean inter-arrival %v, spec %v", spec.Name, m, spec.MeanInterArrivalMs)
+		}
+		if md := tr.MaxDisk(); md >= spec.Disks {
+			t.Errorf("%s: request targets disk %d beyond array of %d", spec.Name, md, spec.Disks)
+		}
+		for i, r := range tr {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("%s: request %d invalid: %v", spec.Name, i, err)
+			}
+			if r.End() > spec.DiskSectors() {
+				t.Fatalf("%s: request %d beyond disk capacity", spec.Name, i)
+			}
+		}
+	}
+}
+
+func TestGenerateSequentialityOrdering(t *testing.T) {
+	seqRuns := func(spec WorkloadSpec) float64 {
+		tr, err := Generate(spec.WithRequests(20000), 7)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		last := map[int]int64{}
+		seq := 0
+		for _, r := range tr {
+			if e, ok := last[r.Disk]; ok && e == r.LBA {
+				seq++
+			}
+			last[r.Disk] = r.End()
+		}
+		return float64(seq) / float64(len(tr))
+	}
+	tpch := seqRuns(TPCH())
+	web := seqRuns(Websearch())
+	if tpch <= web {
+		t.Fatalf("TPC-H sequentiality %v not above Websearch %v", tpch, web)
+	}
+	if tpch < 0.5 {
+		t.Fatalf("TPC-H sequentiality %v, want >= 0.5", tpch)
+	}
+}
+
+func TestGenerateRejectsInvalidSpec(t *testing.T) {
+	spec := Websearch()
+	spec.Requests = 0
+	if _, err := Generate(spec, 1); err == nil {
+		t.Fatalf("Generate accepted invalid spec")
+	}
+	// Footprint too small for the largest transfer.
+	spec = Websearch().WithRequests(10)
+	spec.DiskCapacityGB = 0.00001
+	if _, err := Generate(spec, 1); err == nil {
+		t.Fatalf("Generate accepted microscopic footprint")
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	spec := TPCC().WithRequests(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(spec, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Transformations for composing and reshaping traces: multi-tenant
+// workloads are built by merging independently synthesized streams, and
+// intensity what-ifs by rescaling arrival times.
+
+// Merge combines traces into one stream ordered by arrival time. The
+// inputs are not modified. Disk numbers are preserved; callers that need
+// disjoint address spaces should Rebase the inputs first.
+func Merge(traces ...Trace) Trace {
+	var total int
+	for _, t := range traces {
+		total += len(t)
+	}
+	out := make(Trace, 0, total)
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ArrivalMs < out[j].ArrivalMs })
+	return out
+}
+
+// TimeScale returns a copy with every arrival multiplied by factor:
+// factor 0.5 doubles the load intensity, factor 2 halves it.
+func TimeScale(t Trace, factor float64) (Trace, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("trace: scale factor %v must be positive", factor)
+	}
+	out := make(Trace, len(t))
+	for i, r := range t {
+		r.ArrivalMs *= factor
+		out[i] = r
+	}
+	return out, nil
+}
+
+// TimeShift returns a copy with every arrival offset by delta ms
+// (the result must stay nonnegative).
+func TimeShift(t Trace, deltaMs float64) (Trace, error) {
+	out := make(Trace, len(t))
+	for i, r := range t {
+		r.ArrivalMs += deltaMs
+		if r.ArrivalMs < 0 {
+			return nil, fmt.Errorf("trace: shift drives request %d to %v ms", i, r.ArrivalMs)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Rebase returns a copy with every request's LBA offset by base and all
+// disk numbers replaced by disk (for placing a tenant's stream into its
+// own region of a shared device).
+func Rebase(t Trace, disk int, base int64) (Trace, error) {
+	if disk < 0 || base < 0 {
+		return nil, fmt.Errorf("trace: negative disk or base")
+	}
+	out := make(Trace, len(t))
+	for i, r := range t {
+		r.Disk = disk
+		r.LBA += base
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distributions used by the synthetic generators and available to
+// applications building their own workloads. All draw from an injected
+// *rand.Rand so streams stay deterministic and independent.
+
+// Exponential samples an exponential variate with the given mean.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// BoundedPareto samples a Pareto (heavy-tailed) variate with the given
+// shape ("alpha") on [min, max] by inversion. Heavy-tailed request sizes
+// are characteristic of file-serving workloads; shape values near 1-1.5
+// give the classic mass-in-the-tail behavior.
+func BoundedPareto(rng *rand.Rand, shape, min, max float64) (float64, error) {
+	if shape <= 0 {
+		return 0, fmt.Errorf("workload: Pareto shape %v must be positive", shape)
+	}
+	if min <= 0 || max <= min {
+		return 0, fmt.Errorf("workload: Pareto bounds [%v,%v] invalid", min, max)
+	}
+	u := rng.Float64()
+	la := math.Pow(min, shape)
+	ha := math.Pow(max, shape)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/shape)
+	if x < min {
+		x = min
+	}
+	if x > max {
+		x = max
+	}
+	return x, nil
+}
+
+// HotCold samples an address in [0, space): with probability hotProb the
+// address falls in the first hotFrac of the space (the hot set),
+// otherwise anywhere. It is the locality kernel the commercial-trace
+// synthesizers use.
+func HotCold(rng *rand.Rand, space int64, hotFrac, hotProb float64) (int64, error) {
+	if space <= 0 {
+		return 0, fmt.Errorf("workload: space %d must be positive", space)
+	}
+	if hotFrac < 0 || hotFrac > 1 || hotProb < 0 || hotProb > 1 {
+		return 0, fmt.Errorf("workload: hot parameters outside [0,1]")
+	}
+	hot := int64(float64(space) * hotFrac)
+	if hot > 0 && rng.Float64() < hotProb {
+		return rng.Int63n(hot), nil
+	}
+	return rng.Int63n(space), nil
+}
+
+// MMPP is a two-state Markov-modulated Poisson arrival process: a
+// "calm" state with mean inter-arrival `CalmMeanMs` and a "burst" state
+// with the mean divided by BurstFactor. State transitions occur per
+// arrival with the given probabilities. It produces the bursty arrivals
+// that distinguish OLTP traces from a plain Poisson stream.
+type MMPP struct {
+	CalmMeanMs  float64
+	BurstFactor float64
+	PEnterBurst float64 // per-arrival probability calm -> burst
+	PExitBurst  float64 // per-arrival probability burst -> calm
+
+	inBurst bool
+}
+
+// Validate reports the first problem with the process, if any.
+func (m *MMPP) Validate() error {
+	switch {
+	case m.CalmMeanMs <= 0:
+		return fmt.Errorf("workload: MMPP mean %v must be positive", m.CalmMeanMs)
+	case m.BurstFactor <= 1:
+		return fmt.Errorf("workload: MMPP burst factor %v must exceed 1", m.BurstFactor)
+	case m.PEnterBurst < 0 || m.PEnterBurst > 1 || m.PExitBurst <= 0 || m.PExitBurst > 1:
+		return fmt.Errorf("workload: MMPP transition probabilities invalid")
+	}
+	return nil
+}
+
+// Next samples the next inter-arrival gap and advances the state.
+func (m *MMPP) Next(rng *rand.Rand) float64 {
+	if m.inBurst {
+		if rng.Float64() < m.PExitBurst {
+			m.inBurst = false
+		}
+	} else if rng.Float64() < m.PEnterBurst {
+		m.inBurst = true
+	}
+	mean := m.CalmMeanMs
+	if m.inBurst {
+		mean /= m.BurstFactor
+	}
+	return rng.ExpFloat64() * mean
+}
+
+// InBurst reports the process's current state.
+func (m *MMPP) InBurst() bool { return m.inBurst }

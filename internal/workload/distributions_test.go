@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += Exponential(rng, 4)
+	}
+	if m := sum / n; math.Abs(m-4) > 0.05 {
+		t.Fatalf("exponential mean %v, want ~4", m)
+	}
+}
+
+func TestBoundedParetoValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct{ shape, min, max float64 }{
+		{0, 1, 10}, {-1, 1, 10}, {1.2, 0, 10}, {1.2, 10, 10}, {1.2, 10, 5},
+	}
+	for _, c := range cases {
+		if _, err := BoundedPareto(rng, c.shape, c.min, c.max); err == nil {
+			t.Fatalf("accepted invalid Pareto %+v", c)
+		}
+	}
+}
+
+func TestBoundedParetoProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x, err := BoundedPareto(rng, 1.2, 8, 2048)
+		return err == nil && x >= 8 && x <= 2048
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy tail: the mean sits well above the median.
+	rng := rand.New(rand.NewSource(3))
+	var xs []float64
+	var sum float64
+	for i := 0; i < 50000; i++ {
+		x, _ := BoundedPareto(rng, 1.2, 8, 2048)
+		xs = append(xs, x)
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	below := 0
+	for _, x := range xs {
+		if x < mean {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(len(xs)); frac < 0.65 {
+		t.Fatalf("only %.2f of samples below the mean; tail not heavy", frac)
+	}
+}
+
+func TestHotColdValidationAndSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := HotCold(rng, 0, 0.1, 0.9); err == nil {
+		t.Fatalf("zero space accepted")
+	}
+	if _, err := HotCold(rng, 100, -0.1, 0.9); err == nil {
+		t.Fatalf("bad hotFrac accepted")
+	}
+	if _, err := HotCold(rng, 100, 0.1, 1.5); err == nil {
+		t.Fatalf("bad hotProb accepted")
+	}
+	const space = 100000
+	hot := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		a, err := HotCold(rng, space, 0.1, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a < 0 || a >= space {
+			t.Fatalf("address %d out of range", a)
+		}
+		if a < space/10 {
+			hot++
+		}
+	}
+	// 90% targeted + ~10% of the cold draws landing there by chance.
+	if frac := float64(hot) / n; frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction %v, want ~0.91", frac)
+	}
+}
+
+func TestMMPPValidation(t *testing.T) {
+	bad := []MMPP{
+		{CalmMeanMs: 0, BurstFactor: 4, PEnterBurst: 0.1, PExitBurst: 0.2},
+		{CalmMeanMs: 5, BurstFactor: 1, PEnterBurst: 0.1, PExitBurst: 0.2},
+		{CalmMeanMs: 5, BurstFactor: 4, PEnterBurst: -0.1, PExitBurst: 0.2},
+		{CalmMeanMs: 5, BurstFactor: 4, PEnterBurst: 0.1, PExitBurst: 0},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Fatalf("accepted invalid MMPP %+v", bad[i])
+		}
+	}
+}
+
+func TestMMPPBurstsShortenGaps(t *testing.T) {
+	m := MMPP{CalmMeanMs: 8, BurstFactor: 8, PEnterBurst: 0.02, PExitBurst: 0.1}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var calmSum, burstSum float64
+	var calmN, burstN int
+	for i := 0; i < 200000; i++ {
+		inBurst := m.InBurst()
+		gap := m.Next(rng)
+		if inBurst {
+			burstSum += gap
+			burstN++
+		} else {
+			calmSum += gap
+			calmN++
+		}
+	}
+	if burstN == 0 || calmN == 0 {
+		t.Fatalf("MMPP never visited both states (%d/%d)", calmN, burstN)
+	}
+	calmMean := calmSum / float64(calmN)
+	burstMean := burstSum / float64(burstN)
+	if burstMean >= calmMean/4 {
+		t.Fatalf("burst gaps (%v) not much shorter than calm gaps (%v)", burstMean, calmMean)
+	}
+}
+
+func TestMMPPDeterministic(t *testing.T) {
+	mk := func() []float64 {
+		m := MMPP{CalmMeanMs: 5, BurstFactor: 4, PEnterBurst: 0.05, PExitBurst: 0.1}
+		rng := rand.New(rand.NewSource(9))
+		out := make([]float64, 100)
+		for i := range out {
+			out[i] = m.Next(rng)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("MMPP streams diverged at %d", i)
+		}
+	}
+}
