@@ -12,6 +12,7 @@ package repro_test
 // output.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro"
@@ -246,6 +247,35 @@ func BenchmarkFigure9bIsoPerfCost(b *testing.B) {
 	}
 	b.ReportMetric(save2, "2xSA2-saving-%")
 	b.ReportMetric(save4, "1xSA4-saving-%")
+}
+
+// BenchmarkFleetSweep measures the wall-clock effect of fanning the
+// Figure-4-style bottleneck sweep (six scaled HC-SD simulations plus
+// the limit study's pair) out across cores via internal/fleet: the
+// "serial" sub-benchmark pins the pool to one worker, "parallel" uses
+// every core. On a multi-core runner the parallel case should finish
+// the same deterministic work at least ~2x faster; ns/op is the number
+// the perf trajectory tracks.
+func BenchmarkFleetSweep(b *testing.B) {
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := experiments.Config{Requests: benchRequests, Seed: 1, Parallelism: bc.parallelism}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Bottleneck(trace.Websearch(), cfg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := experiments.LimitStudy(trace.Websearch(), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkDriveServiceRate measures raw simulator throughput: simulated

@@ -5,16 +5,25 @@
 // Usage:
 //
 //	idpbench [-exp all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9a|fig9b]
-//	         [-requests N] [-seed S] [-workload NAME]
+//	         [-requests N] [-seed S] [-workload NAME] [-parallel N] [-quiet]
+//
+// Independent simulations fan out across -parallel workers (default: all
+// cores) through internal/fleet; every table is buffered per section and
+// printed in canonical order, so the output is byte-identical at any
+// parallelism level. Progress is reported on stderr.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cost"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/trace"
 )
 
@@ -24,9 +33,15 @@ func main() {
 		requests = flag.Int("requests", experiments.DefaultConfig().Requests, "requests per workload replay")
 		seed     = flag.Int64("seed", experiments.DefaultConfig().Seed, "workload synthesis seed")
 		wl       = flag.String("workload", "", "restrict trace experiments to one workload (Financial, Websearch, TPC-C, TPC-H)")
+		parallel = flag.Int("parallel", 0, "worker-pool size for independent simulations (0 = GOMAXPROCS)")
+		quiet    = flag.Bool("quiet", false, "suppress per-section progress on stderr")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Requests: *requests, Seed: *seed}
+	if *parallel < 0 {
+		fmt.Fprintln(os.Stderr, "idpbench: -parallel must be >= 0")
+		os.Exit(1)
+	}
+	cfg := experiments.Config{Requests: *requests, Seed: *seed, Parallelism: *parallel}
 
 	workloads := trace.Workloads()
 	if *wl != "" {
@@ -38,16 +53,55 @@ func main() {
 		workloads = []trace.WorkloadSpec{w}
 	}
 
-	if err := run(*exp, cfg, workloads); err != nil {
+	var progress func(done, total int, job string)
+	if !*quiet {
+		progress = fleet.WriterProgress(os.Stderr)
+	}
+	if err := run(os.Stdout, *exp, cfg, workloads, progress); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg experiments.Config, workloads []trace.WorkloadSpec) error {
+// perWorkload renders one section for every workload concurrently and
+// writes the buffered outputs to out in canonical workload order.
+func perWorkload(out io.Writer, section string, workloads []trace.WorkloadSpec,
+	cfg experiments.Config, progress func(int, int, string),
+	render func(w trace.WorkloadSpec, buf *bytes.Buffer) error) error {
+	jobs := make([]fleet.Job[string], len(workloads))
+	for i, w := range workloads {
+		w := w
+		jobs[i] = fleet.Job[string]{
+			Name: section + "/" + w.Name,
+			Run: func(context.Context, int64) (string, error) {
+				var buf bytes.Buffer
+				if err := render(w, &buf); err != nil {
+					return "", err
+				}
+				return buf.String(), nil
+			},
+		}
+	}
+	sections, err := fleet.Run(jobs, fleet.Options{
+		Parallelism: cfg.Parallelism,
+		BaseSeed:    cfg.Seed,
+		Progress:    progress,
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range sections {
+		if _, err := io.WriteString(out, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.WorkloadSpec,
+	progress func(int, int, string)) error {
 	all := exp == "all"
 	ran := false
-	out := os.Stdout
 
 	if all || exp == "table1" {
 		ran = true
@@ -57,80 +111,100 @@ func run(exp string, cfg experiments.Config, workloads []trace.WorkloadSpec) err
 
 	if all || exp == "fig2" || exp == "fig3" {
 		ran = true
-		for _, w := range workloads {
-			ls, err := experiments.LimitStudy(w, cfg)
-			if err != nil {
-				return err
-			}
-			if all || exp == "fig2" {
-				experiments.WriteCDFTable(out,
-					fmt.Sprintf("Figure 2 (%s): response-time CDF, MD vs HC-SD", w.Name),
-					[]experiments.Run{ls.MD, ls.HCSD})
-				fmt.Fprintln(out)
-			}
-			if all || exp == "fig3" {
-				experiments.WritePowerTable(out,
-					fmt.Sprintf("Figure 3 (%s): average power, MD vs HC-SD", w.Name),
-					[]experiments.Run{ls.MD, ls.HCSD})
-				fmt.Fprintln(out)
-			}
+		err := perWorkload(out, "fig2+3", workloads, cfg, progress,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+				ls, err := experiments.LimitStudy(w, cfg)
+				if err != nil {
+					return err
+				}
+				if all || exp == "fig2" {
+					experiments.WriteCDFTable(buf,
+						fmt.Sprintf("Figure 2 (%s): response-time CDF, MD vs HC-SD", w.Name),
+						[]experiments.Run{ls.MD, ls.HCSD})
+					fmt.Fprintln(buf)
+				}
+				if all || exp == "fig3" {
+					experiments.WritePowerTable(buf,
+						fmt.Sprintf("Figure 3 (%s): average power, MD vs HC-SD", w.Name),
+						[]experiments.Run{ls.MD, ls.HCSD})
+					fmt.Fprintln(buf)
+				}
+				return nil
+			})
+		if err != nil {
+			return err
 		}
 	}
 
 	if all || exp == "fig4" {
 		ran = true
-		for _, w := range workloads {
-			ls, err := experiments.LimitStudy(w, cfg)
-			if err != nil {
-				return err
-			}
-			b, err := experiments.Bottleneck(w, cfg)
-			if err != nil {
-				return err
-			}
-			runs := append([]experiments.Run{ls.HCSD}, b.Cases...)
-			runs = append(runs, ls.MD)
-			experiments.WriteCDFTable(out,
-				fmt.Sprintf("Figure 4 (%s): bottleneck analysis of HC-SD", w.Name), runs)
-			fmt.Fprintln(out)
+		err := perWorkload(out, "fig4", workloads, cfg, progress,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+				ls, err := experiments.LimitStudy(w, cfg)
+				if err != nil {
+					return err
+				}
+				b, err := experiments.Bottleneck(w, cfg)
+				if err != nil {
+					return err
+				}
+				runs := append([]experiments.Run{ls.HCSD}, b.Cases...)
+				runs = append(runs, ls.MD)
+				experiments.WriteCDFTable(buf,
+					fmt.Sprintf("Figure 4 (%s): bottleneck analysis of HC-SD", w.Name), runs)
+				fmt.Fprintln(buf)
+				return nil
+			})
+		if err != nil {
+			return err
 		}
 	}
 
 	if all || exp == "fig5" {
 		ran = true
-		for _, w := range workloads {
-			ma, err := experiments.MultiActuator(w, cfg, 4)
-			if err != nil {
-				return err
-			}
-			runs := append(append([]experiments.Run{}, ma.Runs...), ma.MD)
-			experiments.WriteCDFTable(out,
-				fmt.Sprintf("Figure 5 (%s): response-time CDF, HC-SD-SA(n)", w.Name), runs)
-			experiments.WritePDFTable(out,
-				fmt.Sprintf("Figure 5 (%s): rotational-latency PDF", w.Name), ma.Runs)
-			fmt.Fprintln(out)
+		err := perWorkload(out, "fig5", workloads, cfg, progress,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+				ma, err := experiments.MultiActuator(w, cfg, 4)
+				if err != nil {
+					return err
+				}
+				runs := append(append([]experiments.Run{}, ma.Runs...), ma.MD)
+				experiments.WriteCDFTable(buf,
+					fmt.Sprintf("Figure 5 (%s): response-time CDF, HC-SD-SA(n)", w.Name), runs)
+				experiments.WritePDFTable(buf,
+					fmt.Sprintf("Figure 5 (%s): rotational-latency PDF", w.Name), ma.Runs)
+				fmt.Fprintln(buf)
+				return nil
+			})
+		if err != nil {
+			return err
 		}
 	}
 
 	if all || exp == "fig6" || exp == "fig7" {
 		ran = true
-		for _, w := range workloads {
-			rr, err := experiments.ReducedRPM(w, cfg)
-			if err != nil {
-				return err
-			}
-			if all || exp == "fig6" {
-				runs := append([]experiments.Run{rr.HCSD}, rr.Runs...)
-				experiments.WritePowerTable(out,
-					fmt.Sprintf("Figure 6 (%s): average power of reduced-RPM designs", w.Name), runs)
-				fmt.Fprintln(out)
-			}
-			if all || exp == "fig7" {
-				runs := append(append([]experiments.Run{}, rr.Runs...), rr.MD)
-				experiments.WriteCDFTable(out,
-					fmt.Sprintf("Figure 7 (%s): reduced-RPM designs vs MD", w.Name), runs)
-				fmt.Fprintln(out)
-			}
+		err := perWorkload(out, "fig6+7", workloads, cfg, progress,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+				rr, err := experiments.ReducedRPM(w, cfg)
+				if err != nil {
+					return err
+				}
+				if all || exp == "fig6" {
+					runs := append([]experiments.Run{rr.HCSD}, rr.Runs...)
+					experiments.WritePowerTable(buf,
+						fmt.Sprintf("Figure 6 (%s): average power of reduced-RPM designs", w.Name), runs)
+					fmt.Fprintln(buf)
+				}
+				if all || exp == "fig7" {
+					runs := append(append([]experiments.Run{}, rr.Runs...), rr.MD)
+					experiments.WriteCDFTable(buf,
+						fmt.Sprintf("Figure 7 (%s): reduced-RPM designs vs MD", w.Name), runs)
+					fmt.Fprintln(buf)
+				}
+				return nil
+			})
+		if err != nil {
+			return err
 		}
 	}
 
@@ -146,61 +220,76 @@ func run(exp string, cfg experiments.Config, workloads []trace.WorkloadSpec) err
 
 	if all || exp == "ablations" {
 		ran = true
-		for _, w := range workloads {
-			sr, err := experiments.SchedulerAblation(w, cfg)
-			if err != nil {
-				return err
-			}
-			experiments.WriteSummaryTable(out,
-				fmt.Sprintf("Ablation (%s): disk scheduler on HC-SD", w.Name), sr)
-			cr, err := experiments.CacheAblation(w, cfg)
-			if err != nil {
-				return err
-			}
-			experiments.WriteSummaryTable(out,
-				fmt.Sprintf("Ablation (%s): HC-SD cache size", w.Name), cr)
-			rr, err := experiments.RelaxedDesignAblation(w, cfg, 2)
-			if err != nil {
-				return err
-			}
-			experiments.WriteSummaryTable(out,
-				fmt.Sprintf("Ablation (%s): relaxed parallel designs", w.Name), rr)
-			spread, colocated, err := experiments.PlacementAblation(w, cfg, 4)
-			if err != nil {
-				return err
-			}
-			experiments.WriteSummaryTable(out,
-				fmt.Sprintf("Ablation (%s): angular arm placement (rot mean %.2f vs %.2f ms)",
-					w.Name, spread.RotLat.Mean(), colocated.RotLat.Mean()),
-				[]experiments.Run{spread, colocated})
-			fmt.Fprintln(out)
+		err := perWorkload(out, "ablations", workloads, cfg, progress,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+				sr, err := experiments.SchedulerAblation(w, cfg)
+				if err != nil {
+					return err
+				}
+				experiments.WriteSummaryTable(buf,
+					fmt.Sprintf("Ablation (%s): disk scheduler on HC-SD", w.Name), sr)
+				cr, err := experiments.CacheAblation(w, cfg)
+				if err != nil {
+					return err
+				}
+				experiments.WriteSummaryTable(buf,
+					fmt.Sprintf("Ablation (%s): HC-SD cache size", w.Name), cr)
+				rr, err := experiments.RelaxedDesignAblation(w, cfg, 2)
+				if err != nil {
+					return err
+				}
+				experiments.WriteSummaryTable(buf,
+					fmt.Sprintf("Ablation (%s): relaxed parallel designs", w.Name), rr)
+				spread, colocated, err := experiments.PlacementAblation(w, cfg, 4)
+				if err != nil {
+					return err
+				}
+				experiments.WriteSummaryTable(buf,
+					fmt.Sprintf("Ablation (%s): angular arm placement (rot mean %.2f vs %.2f ms)",
+						w.Name, spread.RotLat.Mean(), colocated.RotLat.Mean()),
+					[]experiments.Run{spread, colocated})
+				fmt.Fprintln(buf)
+				return nil
+			})
+		if err != nil {
+			return err
 		}
 	}
 
 	if all || exp == "workloads" {
 		ran = true
 		fmt.Fprintln(out, "Workload calibration: synthesized trace statistics (Table 2 shapes)")
-		for _, w := range workloads {
-			tr, err := trace.Generate(w.WithRequests(cfg.Requests), cfg.Seed)
-			if err != nil {
-				return err
-			}
-			trace.WriteStats(out, w.Name, trace.Analyze(tr))
+		err := perWorkload(out, "workloads", workloads, cfg, progress,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+				tr, err := trace.Generate(w.WithRequests(cfg.Requests), cfg.Seed)
+				if err != nil {
+					return err
+				}
+				trace.WriteStats(buf, w.Name, trace.Analyze(tr))
+				return nil
+			})
+		if err != nil {
+			return err
 		}
 		fmt.Fprintln(out)
 	}
 
 	if all || exp == "altpower" {
 		ran = true
-		for _, w := range workloads {
-			ap, err := experiments.AltPower(w, cfg)
-			if err != nil {
-				return err
-			}
-			experiments.WriteSummaryTable(out,
-				fmt.Sprintf("Alternative power knobs (%s): DRPM vs reduced-RPM intra-disk parallelism", w.Name),
-				[]experiments.Run{ap.HCSD, ap.DRPM, ap.SA4Low})
-			fmt.Fprintln(out)
+		err := perWorkload(out, "altpower", workloads, cfg, progress,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+				ap, err := experiments.AltPower(w, cfg)
+				if err != nil {
+					return err
+				}
+				experiments.WriteSummaryTable(buf,
+					fmt.Sprintf("Alternative power knobs (%s): DRPM vs reduced-RPM intra-disk parallelism", w.Name),
+					[]experiments.Run{ap.HCSD, ap.DRPM, ap.SA4Low})
+				fmt.Fprintln(buf)
+				return nil
+			})
+		if err != nil {
+			return err
 		}
 	}
 

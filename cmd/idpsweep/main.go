@@ -3,12 +3,21 @@
 // performance, power, thermal and cost figures per design point. This is
 // the exploration loop a drive architect would run on top of the library.
 //
+// Design points are independent simulations, so they fan out across
+// -parallel workers (default: all cores); rows are always emitted in
+// sweep order (actuators outer, RPMs inner) regardless of completion
+// order. -reps N replays each design point at N independently derived
+// seeds and reports the pooled statistics plus a 95% confidence interval
+// of the per-replicate means; the same derived seeds are used at every
+// design point so points are compared under identical randomness.
+//
 // Usage:
 //
-//	idpsweep -workload Websearch -requests 60000 > sweep.csv
+//	idpsweep -workload Websearch -requests 60000 [-parallel N] [-reps R] > sweep.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +26,8 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/stats"
 	"repro/internal/thermal"
 	"repro/internal/trace"
 )
@@ -28,64 +39,156 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		armsFlag = flag.String("actuators", "1,2,3,4", "comma-separated actuator counts")
 		rpmsFlag = flag.String("rpms", "7200,6200,5200,4200", "comma-separated spindle speeds")
+		parallel = flag.Int("parallel", 0, "worker-pool size for design points (0 = GOMAXPROCS)")
+		reps     = flag.Int("reps", 1, "replicates per design point (derived seeds; 1 = single run at -seed)")
+		quiet    = flag.Bool("quiet", false, "suppress per-point progress on stderr")
 	)
 	flag.Parse()
-	if err := run(*wl, *requests, *seed, *armsFlag, *rpmsFlag); err != nil {
+	if err := run(os.Stdout, *wl, *requests, *seed, *armsFlag, *rpmsFlag, *parallel, *reps, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func parseInts(s string) ([]int, error) {
+// parseIntList parses a comma-separated list of integers, rejecting
+// empty lists, empty elements, and values below min — bad actuator
+// counts or spindle speeds otherwise panic deep inside the drive model.
+func parseIntList(name, s string, min int) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("idpsweep: -%s: empty list", name)
+	}
 	var out []int
 	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return nil, fmt.Errorf("idpsweep: -%s: empty element in %q", name, s)
+		}
+		v, err := strconv.Atoi(f)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("idpsweep: -%s: %q is not an integer", name, f)
+		}
+		if v < min {
+			return nil, fmt.Errorf("idpsweep: -%s: %d is out of range (must be >= %d)", name, v, min)
 		}
 		out = append(out, v)
 	}
 	return out, nil
 }
 
-func run(wl string, requests int, seed int64, armsFlag, rpmsFlag string) error {
+// minRPM rejects spindle speeds the mechanical model cannot mean: the
+// paper's design space bottoms out at 4200 RPM, and anything below ~1000
+// is a typo, not a drive.
+const minRPM = 1000
+
+type row struct {
+	actuators, rpm int
+}
+
+func run(out *os.File, wl string, requests int, seed int64, armsFlag, rpmsFlag string, parallel, reps int, quiet bool) error {
 	spec, err := trace.WorkloadByName(wl)
 	if err != nil {
 		return err
 	}
-	arms, err := parseInts(armsFlag)
+	arms, err := parseIntList("actuators", armsFlag, 1)
 	if err != nil {
 		return err
 	}
-	rpms, err := parseInts(rpmsFlag)
+	rpms, err := parseIntList("rpms", rpmsFlag, minRPM)
 	if err != nil {
 		return err
 	}
-	cfg := experiments.Config{Requests: requests, Seed: seed}
+	if reps < 1 {
+		return fmt.Errorf("idpsweep: -reps must be >= 1")
+	}
+	if parallel < 0 {
+		return fmt.Errorf("idpsweep: -parallel must be >= 0")
+	}
 	env := thermal.Default()
 
-	fmt.Println("actuators,rpm,mean_ms,p90_ms,p99_ms,avg_power_w,peak_power_w,temp_c,in_envelope,cost_low_usd,cost_high_usd")
+	var points []row
 	for _, a := range arms {
 		for _, rpm := range rpms {
-			r, err := experiments.SARun(spec, cfg, a, float64(rpm))
-			if err != nil {
-				return err
-			}
-			// Thermal: evaluate the design's peak power.
-			pm, err := experiments.SAPowerModel(a, float64(rpm))
-			if err != nil {
-				return err
-			}
-			temp, ok := env.CheckModel(pm)
-			c, err := cost.DriveCost(4, a)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.1f,%v,%.1f,%.1f\n",
-				a, rpm,
-				r.Resp.Mean(), r.Resp.Percentile(90), r.Resp.Percentile(99),
-				r.Power.Total(), pm.PeakPower(), temp, ok, c.Low, c.High)
+			points = append(points, row{a, rpm})
 		}
 	}
+	jobs := make([]fleet.Job[string], len(points))
+	for i, pt := range points {
+		pt := pt
+		jobs[i] = fleet.Job[string]{
+			Name: fmt.Sprintf("SA(%d)/%d", pt.actuators, pt.rpm),
+			Run: func(context.Context, int64) (string, error) {
+				return evalPoint(spec, requests, seed, reps, pt, env)
+			},
+		}
+	}
+	var progress func(int, int, string)
+	if !quiet {
+		progress = fleet.WriterProgress(os.Stderr)
+	}
+	rows, err := fleet.Run(jobs, fleet.Options{
+		Parallelism: parallel,
+		BaseSeed:    seed,
+		Progress:    progress,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "actuators,rpm,reps,mean_ms,ci95_lo_ms,ci95_hi_ms,p90_ms,p99_ms,avg_power_w,peak_power_w,temp_c,in_envelope,cost_low_usd,cost_high_usd")
+	for _, r := range rows {
+		fmt.Fprint(out, r)
+	}
 	return nil
+}
+
+// evalPoint measures one design point: reps replicated simulations (run
+// serially inside the already-parallel point fan-out), pooled response
+// statistics with a CI over per-replicate means, plus the analytic
+// power, thermal and cost figures.
+func evalPoint(spec trace.WorkloadSpec, requests int, seed int64, reps int, pt row, env thermal.Envelope) (string, error) {
+	var (
+		resp   *stats.Sample
+		lo, hi float64
+		powerW float64
+	)
+	if reps == 1 {
+		r, err := experiments.SARun(spec, experiments.Config{Requests: requests, Seed: seed}, pt.actuators, float64(pt.rpm))
+		if err != nil {
+			return "", err
+		}
+		resp = r.Resp
+		lo, hi = r.Resp.Mean(), r.Resp.Mean()
+		powerW = r.Power.Total()
+	} else {
+		var powerSum float64 // replicates run serially: deterministic order
+		agg, err := fleet.Replicate(fmt.Sprintf("SA(%d)/%d", pt.actuators, pt.rpm), reps,
+			fleet.Options{Parallelism: 1, BaseSeed: seed},
+			func(_ context.Context, repSeed int64) (*stats.Sample, error) {
+				r, err := experiments.SARun(spec, experiments.Config{Requests: requests, Seed: repSeed}, pt.actuators, float64(pt.rpm))
+				if err != nil {
+					return nil, err
+				}
+				powerSum += r.Power.Total()
+				return r.Resp, nil
+			})
+		if err != nil {
+			return "", err
+		}
+		resp = agg.Merged
+		lo, hi = agg.CI95()
+		powerW = powerSum / float64(reps)
+	}
+
+	pm, err := experiments.SAPowerModel(pt.actuators, float64(pt.rpm))
+	if err != nil {
+		return "", err
+	}
+	temp, ok := env.CheckModel(pm)
+	c, err := cost.DriveCost(4, pt.actuators)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d,%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.1f,%v,%.1f,%.1f\n",
+		pt.actuators, pt.rpm, reps,
+		resp.Mean(), lo, hi, resp.Percentile(90), resp.Percentile(99),
+		powerW, pm.PeakPower(), temp, ok, c.Low, c.High), nil
 }

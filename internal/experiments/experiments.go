@@ -7,11 +7,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/disk"
+	"repro/internal/fleet"
 	"repro/internal/power"
 	"repro/internal/raid"
 	"repro/internal/simkit"
@@ -25,6 +27,13 @@ import (
 type Config struct {
 	Requests int   // requests per workload replay
 	Seed     int64 // RNG seed for workload synthesis
+
+	// Parallelism bounds the worker pool used to fan independent
+	// simulations of one experiment out across cores (0 means
+	// runtime.GOMAXPROCS(0)). Every simulation owns a private engine
+	// and replays the same deterministically generated trace, so
+	// results are byte-identical at any parallelism level.
+	Parallelism int
 }
 
 // DefaultConfig returns the standard experiment scale.
@@ -35,7 +44,15 @@ func (c Config) Validate() error {
 	if c.Requests <= 0 {
 		return fmt.Errorf("experiments: Requests must be positive")
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("experiments: Parallelism must be >= 0")
+	}
 	return nil
+}
+
+// fleetOptions builds the fan-out options every experiment driver uses.
+func (c Config) fleetOptions() fleet.Options {
+	return fleet.Options{Parallelism: c.Parallelism, BaseSeed: c.Seed}
 }
 
 // Run holds everything measured about one system under one workload.
@@ -158,7 +175,9 @@ type LimitStudyResult struct {
 }
 
 // LimitStudy runs the paper's §7.1 migration study for one workload:
-// the tuned MD array versus the single high-capacity drive.
+// the tuned MD array versus the single high-capacity drive. The two
+// systems replay the same trace on independent engines and fan out
+// through the fleet.
 func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -167,46 +186,53 @@ func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) 
 	if err != nil {
 		return nil, err
 	}
-
-	// MD.
-	engMD := simkit.New()
-	md, err := NewMDSystem(engMD, spec)
-	if err != nil {
-		return nil, err
-	}
-	mdResp := Replay(engMD, md.Router, tr)
-	mdRun := Run{
-		Label:     "MD",
-		Resp:      mdResp,
-		RotLat:    &stats.Sample{},
-		Power:     md.Router.Power(engMD.Now()),
-		ElapsedMs: engMD.Now(),
-		Completed: uint64(mdResp.Count()),
-	}
-
-	// HC-SD.
 	hcsdTr, err := HCSDTrace(spec, tr)
 	if err != nil {
 		return nil, err
 	}
-	engHC := simkit.New()
-	rot := &stats.Sample{}
-	hc, err := disk.New(engHC, disk.BarracudaES(), disk.Options{
-		OnService: func(s, r, x float64) { rot.Add(r) },
-	})
+
+	jobs := []fleet.Job[Run]{
+		{Name: spec.Name + "/MD", Run: func(context.Context, int64) (Run, error) {
+			eng := simkit.New()
+			md, err := NewMDSystem(eng, spec)
+			if err != nil {
+				return Run{}, err
+			}
+			resp := Replay(eng, md.Router, tr)
+			return Run{
+				Label:     "MD",
+				Resp:      resp,
+				RotLat:    &stats.Sample{},
+				Power:     md.Router.Power(eng.Now()),
+				ElapsedMs: eng.Now(),
+				Completed: uint64(resp.Count()),
+			}, nil
+		}},
+		{Name: spec.Name + "/HC-SD", Run: func(context.Context, int64) (Run, error) {
+			eng := simkit.New()
+			rot := &stats.Sample{}
+			hc, err := disk.New(eng, disk.BarracudaES(), disk.Options{
+				OnService: func(s, r, x float64) { rot.Add(r) },
+			})
+			if err != nil {
+				return Run{}, err
+			}
+			resp := Replay(eng, hc, hcsdTr)
+			return Run{
+				Label:     "HC-SD",
+				Resp:      resp,
+				RotLat:    rot,
+				Power:     hc.Power(eng.Now()),
+				ElapsedMs: eng.Now(),
+				Completed: uint64(resp.Count()),
+			}, nil
+		}},
+	}
+	runs, err := fleet.Run(jobs, cfg.fleetOptions())
 	if err != nil {
 		return nil, err
 	}
-	hcResp := Replay(engHC, hc, hcsdTr)
-	hcRun := Run{
-		Label:     "HC-SD",
-		Resp:      hcResp,
-		RotLat:    rot,
-		Power:     hc.Power(engHC.Now()),
-		ElapsedMs: engHC.Now(),
-		Completed: uint64(hcResp.Count()),
-	}
-	return &LimitStudyResult{Workload: spec.Name, MD: mdRun, HCSD: hcRun}, nil
+	return &LimitStudyResult{Workload: spec.Name, MD: runs[0], HCSD: runs[1]}, nil
 }
 
 // ScaleCase is one curve of the paper's Figure 4 bottleneck analysis.
@@ -249,27 +275,38 @@ func Bottleneck(spec trace.WorkloadSpec, cfg Config) (*BottleneckResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	out := &BottleneckResult{Workload: spec.Name}
-	for _, sc := range Figure4Cases() {
-		eng := simkit.New()
-		d, err := disk.New(eng, disk.BarracudaES(), disk.Options{
-			SeekScale: sc.SeekScale,
-			RotScale:  sc.RotScale,
-		})
-		if err != nil {
-			return nil, err
+	cases := Figure4Cases()
+	jobs := make([]fleet.Job[Run], len(cases))
+	for i, sc := range cases {
+		sc := sc
+		jobs[i] = fleet.Job[Run]{
+			Name: spec.Name + "/" + sc.Label,
+			Run: func(context.Context, int64) (Run, error) {
+				eng := simkit.New()
+				d, err := disk.New(eng, disk.BarracudaES(), disk.Options{
+					SeekScale: sc.SeekScale,
+					RotScale:  sc.RotScale,
+				})
+				if err != nil {
+					return Run{}, err
+				}
+				resp := Replay(eng, d, hcsdTr)
+				return Run{
+					Label:     sc.Label,
+					Resp:      resp,
+					RotLat:    &stats.Sample{},
+					Power:     d.Power(eng.Now()),
+					ElapsedMs: eng.Now(),
+					Completed: uint64(resp.Count()),
+				}, nil
+			},
 		}
-		resp := Replay(eng, d, hcsdTr)
-		out.Cases = append(out.Cases, Run{
-			Label:     sc.Label,
-			Resp:      resp,
-			RotLat:    &stats.Sample{},
-			Power:     d.Power(eng.Now()),
-			ElapsedMs: eng.Now(),
-			Completed: uint64(resp.Count()),
-		})
 	}
-	return out, nil
+	runs, err := fleet.Run(jobs, cfg.fleetOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &BottleneckResult{Workload: spec.Name, Cases: runs}, nil
 }
 
 // SARun runs one HC-SD-SA(n) design point (optionally at a reduced RPM)
@@ -343,13 +380,25 @@ func MultiActuator(spec trace.WorkloadSpec, cfg Config, maxActuators int) (*Mult
 	if err != nil {
 		return nil, err
 	}
+	jobs := make([]fleet.Job[Run], maxActuators)
 	for n := 1; n <= maxActuators; n++ {
-		r, err := saRunOnTrace(hcsdTr, n, 0)
-		if err != nil {
-			return nil, err
+		n := n
+		jobs[n-1] = fleet.Job[Run]{
+			Name: fmt.Sprintf("%s/SA(%d)", spec.Name, n),
+			Run: func(context.Context, int64) (Run, error) {
+				r, err := saRunOnTrace(hcsdTr, n, 0)
+				if err != nil {
+					return Run{}, err
+				}
+				return *r, nil
+			},
 		}
-		out.Runs = append(out.Runs, *r)
 	}
+	runs, err := fleet.Run(jobs, cfg.fleetOptions())
+	if err != nil {
+		return nil, err
+	}
+	out.Runs = runs
 	return out, nil
 }
 
@@ -384,15 +433,27 @@ func ReducedRPM(spec trace.WorkloadSpec, cfg Config) (*ReducedRPMResult, error) 
 		return nil, err
 	}
 	arms, rpms := ReducedRPMPoints()
+	var jobs []fleet.Job[Run]
 	for _, rpm := range rpms {
 		for _, a := range arms {
-			r, err := saRunOnTrace(hcsdTr, a, rpm)
-			if err != nil {
-				return nil, err
-			}
-			out.Runs = append(out.Runs, *r)
+			rpm, a := rpm, a
+			jobs = append(jobs, fleet.Job[Run]{
+				Name: fmt.Sprintf("%s/SA(%d)/%d", spec.Name, a, int(rpm)),
+				Run: func(context.Context, int64) (Run, error) {
+					r, err := saRunOnTrace(hcsdTr, a, rpm)
+					if err != nil {
+						return Run{}, err
+					}
+					return *r, nil
+				},
+			})
 		}
 	}
+	runs, err := fleet.Run(jobs, cfg.fleetOptions())
+	if err != nil {
+		return nil, err
+	}
+	out.Runs = runs
 	return out, nil
 }
 

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// renderAtParallelism regenerates a representative slice of the paper's
+// evaluation — the limit study, the Figure 4 bottleneck sweep, the
+// multi-actuator study, and a Figure 8 RAID point grid — and renders
+// every table into one buffer.
+func renderAtParallelism(t *testing.T, parallelism int) []byte {
+	t.Helper()
+	cfg := Config{Requests: 2500, Seed: 7, Parallelism: parallelism}
+	var buf bytes.Buffer
+	for _, w := range []trace.WorkloadSpec{trace.Websearch(), trace.TPCH()} {
+		ls, err := LimitStudy(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		WriteCDFTable(&buf, fmt.Sprintf("limit (%s)", w.Name), []Run{ls.MD, ls.HCSD})
+		WritePowerTable(&buf, fmt.Sprintf("power (%s)", w.Name), []Run{ls.MD, ls.HCSD})
+
+		bt, err := Bottleneck(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		WriteCDFTable(&buf, fmt.Sprintf("bottleneck (%s)", w.Name), bt.Cases)
+
+		ma, err := MultiActuator(w, cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		WriteCDFTable(&buf, fmt.Sprintf("multiactuator (%s)", w.Name), ma.Runs)
+		WritePDFTable(&buf, fmt.Sprintf("rotlat (%s)", w.Name), ma.Runs)
+	}
+	rs, err := RAIDStudyWith(Config{Requests: 2000, Seed: 7, Parallelism: parallelism},
+		[]int{1, 2, 4}, []int{1, 2}, []workload.Intensity{workload.Moderate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteRAIDStudy(&buf, rs)
+	return buf.Bytes()
+}
+
+// TestParallelismDoesNotPerturbResults is the determinism regression
+// test the ISSUE demands: the same experiments at Parallelism 1 and 8
+// with the same seed must render byte-identical tables, so concurrency
+// can never silently perturb reproduction numbers.
+func TestParallelismDoesNotPerturbResults(t *testing.T) {
+	serial := renderAtParallelism(t, 1)
+	parallel := renderAtParallelism(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("rendered output differs between Parallelism 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}

@@ -1,14 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/disk"
+	"repro/internal/fleet"
 	"repro/internal/power"
 	"repro/internal/raid"
 	"repro/internal/simkit"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -84,43 +87,65 @@ func RAIDStudyWith(cfg Config, diskCounts, families []int, intensities []workloa
 	dataset := probe.Capacity()
 
 	out := &RAIDStudyResult{DiskCounts: diskCounts, Families: families}
+
+	// One deterministic trace per intensity, shared read-only by every
+	// array simulation of that intensity; the full (intensity, family,
+	// array size) cross product then fans out through the fleet with
+	// points collected in the canonical nested order.
+	traces := make(map[workload.Intensity]trace.Trace, len(intensities))
 	for _, in := range intensities {
 		spec := workload.Paper(in, dataset).WithRequests(cfg.Requests)
 		tr, err := workload.Generate(spec, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
+		traces[in] = tr
+	}
+	var jobs []fleet.Job[RAIDPoint]
+	for _, in := range intensities {
 		for _, fam := range families {
 			for _, count := range diskCounts {
-				eng := simkit.New()
-				members := make([]device.Device, count)
-				for i := range members {
-					d, err := core.NewSA(eng, model, fam)
-					if err != nil {
-						return nil, err
-					}
-					members[i] = d
-				}
-				layout, err := raid.NewRAID0(count, probe.Capacity(), StripeUnitSectors)
-				if err != nil {
-					return nil, err
-				}
-				arr, err := raid.NewArray(layout, members)
-				if err != nil {
-					return nil, err
-				}
-				resp := Replay(eng, arr, tr)
-				out.Points = append(out.Points, RAIDPoint{
-					Intensity: in,
-					Actuators: fam,
-					Drives:    count,
-					P90:       resp.Percentile(90),
-					MeanResp:  resp.Mean(),
-					Power:     arr.Power(eng.Now()),
+				in, fam, count := in, fam, count
+				tr := traces[in]
+				jobs = append(jobs, fleet.Job[RAIDPoint]{
+					Name: fmt.Sprintf("raid/%s/SA(%d)x%d", in, fam, count),
+					Run: func(context.Context, int64) (RAIDPoint, error) {
+						eng := simkit.New()
+						members := make([]device.Device, count)
+						for i := range members {
+							d, err := core.NewSA(eng, model, fam)
+							if err != nil {
+								return RAIDPoint{}, err
+							}
+							members[i] = d
+						}
+						layout, err := raid.NewRAID0(count, dataset, StripeUnitSectors)
+						if err != nil {
+							return RAIDPoint{}, err
+						}
+						arr, err := raid.NewArray(layout, members)
+						if err != nil {
+							return RAIDPoint{}, err
+						}
+						resp := Replay(eng, arr, tr)
+						return RAIDPoint{
+							Intensity: in,
+							Actuators: fam,
+							Drives:    count,
+							P90:       resp.Percentile(90),
+							MeanResp:  resp.Mean(),
+							Power:     arr.Power(eng.Now()),
+						}, nil
+					},
 				})
 			}
 		}
 	}
+	points, err := fleet.Run(jobs, cfg.fleetOptions())
+	if err != nil {
+		return nil, err
+	}
+	out.Points = points
 	return out, nil
 }
 

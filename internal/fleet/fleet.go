@@ -1,0 +1,149 @@
+// Package fleet is a deterministic fan-out engine for simulation runs.
+//
+// The paper's evaluation is a large matrix of independent simulations —
+// workloads × design points × load intensities — and every simulation
+// owns its private simkit.Engine, so the parallelism *between* runs is
+// embarrassing. This package exploits it without ever letting
+// concurrency perturb results:
+//
+//   - Jobs are submitted as an ordered slice and results come back in
+//     submission order, regardless of completion order or worker count.
+//   - Each job receives a seed derived from (BaseSeed, job index) by a
+//     SplitMix64-style hash, so the randomness a job sees depends only
+//     on its position in the submission order — never on scheduling.
+//   - A panic inside a job is recovered into an error carrying the job
+//     name; the first failure cancels the pool so remaining jobs are
+//     skipped promptly, as is external context cancellation.
+//
+// Together these guarantee the byte-identical-output property the
+// repository's determinism regression test enforces: running a fan-out
+// with Parallelism 1 and Parallelism N produces the same results.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one unit of work: an independent simulation (or any closure)
+// identified by a name used in errors and progress reports. Run receives
+// the pool context (cancelled when the fan-out is abandoned) and the
+// job's derived seed; jobs that replay a fixed shared trace are free to
+// ignore the seed.
+type Job[T any] struct {
+	Name string
+	Run  func(ctx context.Context, seed int64) (T, error)
+}
+
+// Options configures a fan-out.
+type Options struct {
+	// Parallelism is the worker-pool size; 0 means runtime.GOMAXPROCS(0).
+	// The pool never runs more workers than there are jobs.
+	Parallelism int
+
+	// BaseSeed is hashed with each job's index to derive the per-job
+	// seed (see DeriveSeed).
+	BaseSeed int64
+
+	// Context, when non-nil, cancels the fan-out: jobs not yet started
+	// are skipped and Run returns the context's error. Running jobs also
+	// see the cancellation through their ctx argument.
+	Context context.Context
+
+	// Progress, when non-nil, is called after every job completes with
+	// the number of jobs finished so far, the total, and the name of the
+	// job that just finished. Calls are serialized; done reaches total
+	// exactly once on a fully successful fan-out.
+	Progress func(done, total int, job string)
+}
+
+// workers resolves the effective pool size for n jobs.
+func (o Options) workers(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// Run executes the jobs on a worker pool and returns their results in
+// submission order. On failure it returns the errors of every job that
+// failed (joined, in submission order); the partial results slice is
+// still returned but entries of failed or skipped jobs are zero values.
+func Run[T any](jobs []Job[T], opts Options) ([]T, error) {
+	results := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	parent := opts.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	var (
+		mu   sync.Mutex
+		done int
+		errs = make([]error, len(jobs))
+	)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if ctx.Err() != nil {
+					continue // drain: pool abandoned, skip unstarted jobs
+				}
+				res, err := runJob(ctx, jobs[i], DeriveSeed(opts.BaseSeed, i))
+				mu.Lock()
+				if err != nil {
+					errs[i] = err
+					cancel()
+				} else {
+					results[i] = res
+				}
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, len(jobs), jobs[i].Name)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range jobs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return results, err
+	}
+	if err := parent.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// runJob invokes one job, converting a panic into an error that names it.
+func runJob[T any](ctx context.Context, job Job[T], seed int64) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fleet: job %q panicked: %v", job.Name, r)
+		}
+	}()
+	res, err = job.Run(ctx, seed)
+	if err != nil {
+		err = fmt.Errorf("fleet: job %q: %w", job.Name, err)
+	}
+	return res, err
+}

@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// squareJobs builds n jobs whose results encode (index, derived seed).
+func squareJobs(n int) []Job[[2]int64] {
+	jobs := make([]Job[[2]int64], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[[2]int64]{
+			Name: fmt.Sprintf("job%d", i),
+			Run: func(_ context.Context, seed int64) ([2]int64, error) {
+				return [2]int64{int64(i), seed}, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunOrderedResults(t *testing.T) {
+	for _, par := range []int{1, 2, 8, 0} {
+		res, err := Run(squareJobs(17), Options{Parallelism: par, BaseSeed: 42})
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", par, err)
+		}
+		if len(res) != 17 {
+			t.Fatalf("Parallelism=%d: got %d results", par, len(res))
+		}
+		for i, r := range res {
+			if r[0] != int64(i) {
+				t.Errorf("Parallelism=%d: slot %d holds job %d's result", par, i, r[0])
+			}
+			if want := DeriveSeed(42, i); r[1] != want {
+				t.Errorf("Parallelism=%d: job %d seed %d, want %d", par, i, r[1], want)
+			}
+		}
+	}
+}
+
+func TestRunIndependentOfParallelism(t *testing.T) {
+	serial, err := Run(squareJobs(23), Options{Parallelism: 1, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(squareJobs(23), Options{Parallelism: 8, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("results differ between Parallelism 1 and 8")
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	res, err := Run([]Job[int]{}, Options{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty fan-out: res=%v err=%v", res, err)
+	}
+}
+
+func TestRunRecoversPanicWithJobName(t *testing.T) {
+	jobs := []Job[int]{
+		{Name: "ok", Run: func(context.Context, int64) (int, error) { return 1, nil }},
+		{Name: "boom", Run: func(context.Context, int64) (int, error) { panic("kaboom") }},
+	}
+	_, err := Run(jobs, Options{Parallelism: 1})
+	if err == nil {
+		t.Fatal("want error from panicking job")
+	}
+	if !strings.Contains(err.Error(), `"boom"`) || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("error %q does not carry the job name and panic value", err)
+	}
+}
+
+func TestRunErrorWrapsJobName(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	jobs := []Job[int]{
+		{Name: "fails", Run: func(context.Context, int64) (int, error) { return 0, sentinel }},
+	}
+	_, err := Run(jobs, Options{Parallelism: 1})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap the job error", err)
+	}
+	if !strings.Contains(err.Error(), `"fails"`) {
+		t.Fatalf("error %q does not carry the job name", err)
+	}
+}
+
+func TestRunFirstErrorSkipsRemaining(t *testing.T) {
+	var started atomic.Int32
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Name: fmt.Sprintf("job%d", i),
+			Run: func(context.Context, int64) (int, error) {
+				started.Add(1)
+				if i == 0 {
+					return 0, errors.New("early failure")
+				}
+				return i, nil
+			},
+		}
+	}
+	_, err := Run(jobs, Options{Parallelism: 1})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := started.Load(); got != 1 {
+		t.Fatalf("started %d jobs after first failure, want 1 (serial pool)", got)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	jobs := make([]Job[int], 50)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Name: fmt.Sprintf("job%d", i),
+			Run: func(ctx context.Context, _ int64) (int, error) {
+				if started.Add(1) == 1 {
+					cancel()
+				}
+				select {
+				case <-ctx.Done():
+				case <-time.After(5 * time.Second):
+					t.Error("job did not observe cancellation")
+				}
+				return 0, nil
+			},
+		}
+	}
+	_, err := Run(jobs, Options{Parallelism: 2, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got >= 50 {
+		t.Fatalf("all %d jobs started despite prompt cancellation", got)
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	var calls []string
+	lastDone := 0
+	jobs := squareJobs(9)
+	_, err := Run(jobs, Options{
+		Parallelism: 4,
+		Progress: func(done, total int, job string) {
+			if done != lastDone+1 || total != 9 {
+				t.Errorf("progress (%d,%d) after %d", done, total, lastDone)
+			}
+			lastDone = done
+			calls = append(calls, job)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 9 {
+		t.Fatalf("progress called %d times, want 9", len(calls))
+	}
+}
+
+func TestWriterProgress(t *testing.T) {
+	var sb strings.Builder
+	WriterProgress(&sb)(3, 12, "fig4/TPC-H")
+	if got, want := sb.String(), "[3/12] fig4/TPC-H\n"; got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,16 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriterProgress returns a Progress hook that writes one line per
+// completed job to w — the cmd tools wire this to stderr so long
+// fan-outs show their advance without touching the deterministic
+// stdout tables.
+func WriterProgress(w io.Writer) func(done, total int, job string) {
+	return func(done, total int, job string) {
+		fmt.Fprintf(w, "[%d/%d] %s\n", done, total, job)
+	}
+}

@@ -1,0 +1,55 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Aggregate is the result of replicating one measurement across several
+// derived seeds.
+type Aggregate struct {
+	// Merged pools every observation of every replicate (stats.Sample
+	// merge), so percentiles and CDFs are computed over the union.
+	Merged *stats.Sample
+	// Means holds one entry per replicate: that run's mean. The 95%
+	// confidence interval of the measurement is CI95 over these
+	// per-replicate means (each replicate is one independent draw).
+	Means *stats.Sample
+}
+
+// Mean reports the pooled mean across all replicates.
+func (a *Aggregate) Mean() float64 { return a.Merged.Mean() }
+
+// CI95 reports the 95% confidence interval of the per-replicate means.
+func (a *Aggregate) CI95() (lo, hi float64) { return a.Means.CI95() }
+
+// Replicate runs one measurement at n independent derived seeds and
+// aggregates the returned samples. Replicate r runs with seed
+// DeriveSeed(opts.BaseSeed, r), so the same BaseSeed yields the same
+// replicate seeds for every design point of a sweep — design points are
+// compared under identical randomness. The replicates fan out through
+// Run with the given options (name labels them in errors and progress).
+func Replicate(name string, n int, opts Options, run func(ctx context.Context, seed int64) (*stats.Sample, error)) (*Aggregate, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fleet: Replicate(%q): n %d, want >= 1", name, n)
+	}
+	jobs := make([]Job[*stats.Sample], n)
+	for i := range jobs {
+		jobs[i] = Job[*stats.Sample]{
+			Name: fmt.Sprintf("%s/rep%d", name, i),
+			Run:  run,
+		}
+	}
+	samples, err := Run(jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	agg := &Aggregate{Merged: &stats.Sample{}, Means: &stats.Sample{}}
+	for _, s := range samples {
+		agg.Merged.Merge(s)
+		agg.Means.Add(s.Mean())
+	}
+	return agg, nil
+}

@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestReplicateAggregates(t *testing.T) {
+	const reps = 8
+	agg, err := Replicate("gauss", reps, Options{Parallelism: 4, BaseSeed: 11},
+		func(_ context.Context, seed int64) (*stats.Sample, error) {
+			rng := rand.New(rand.NewSource(seed))
+			s := &stats.Sample{}
+			for i := 0; i < 500; i++ {
+				s.Add(10 + rng.NormFloat64())
+			}
+			return s, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Merged.Count(); got != reps*500 {
+		t.Fatalf("merged count %d, want %d", got, reps*500)
+	}
+	if got := agg.Means.Count(); got != reps {
+		t.Fatalf("means count %d, want %d", got, reps)
+	}
+	if mu := agg.Mean(); math.Abs(mu-10) > 0.5 {
+		t.Fatalf("pooled mean %.3f far from 10", mu)
+	}
+	lo, hi := agg.CI95()
+	if !(lo < 10 && 10 < hi) {
+		t.Fatalf("CI95 [%.3f, %.3f] excludes the true mean", lo, hi)
+	}
+	if hi-lo > 1 {
+		t.Fatalf("CI95 [%.3f, %.3f] implausibly wide", lo, hi)
+	}
+}
+
+func TestReplicateDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) *Aggregate {
+		agg, err := Replicate("d", 6, Options{Parallelism: par, BaseSeed: 5},
+			func(_ context.Context, seed int64) (*stats.Sample, error) {
+				rng := rand.New(rand.NewSource(seed))
+				s := &stats.Sample{}
+				for i := 0; i < 100; i++ {
+					s.Add(rng.Float64())
+				}
+				return s, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	a, b := run(1), run(8)
+	if a.Mean() != b.Mean() {
+		t.Fatal("pooled mean depends on parallelism")
+	}
+	alo, ahi := a.CI95()
+	blo, bhi := b.CI95()
+	if alo != blo || ahi != bhi {
+		t.Fatal("CI95 depends on parallelism")
+	}
+}
+
+func TestReplicateRejectsNonPositive(t *testing.T) {
+	if _, err := Replicate("bad", 0, Options{}, nil); err == nil {
+		t.Fatal("want error for n=0")
+	}
+}

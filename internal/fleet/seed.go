@@ -1,0 +1,32 @@
+package fleet
+
+// SplitMix64 finalizer constants (Steele, Lea & Flood, "Fast splittable
+// pseudorandom number generators", OOPSLA 2014).
+const (
+	splitmixGamma = 0x9E3779B97F4A7C15
+	splitmixMul1  = 0xBF58476D1CE4E5B9
+	splitmixMul2  = 0x94D049BB133111EB
+)
+
+// splitmix64 is the SplitMix64 output function: a bijective avalanche
+// mix of its 64-bit input.
+func splitmix64(x uint64) uint64 {
+	x += splitmixGamma
+	x = (x ^ (x >> 30)) * splitmixMul1
+	x = (x ^ (x >> 27)) * splitmixMul2
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed hashes (base, index) into an independent per-job seed.
+// The derivation depends only on the job's submission index — never on
+// worker count, scheduling, or completion order — so a fan-out's
+// randomness is reproducible at any parallelism level. The result is
+// never zero (some PRNG constructions degenerate on a zero seed).
+func DeriveSeed(base int64, index int) int64 {
+	h := splitmix64(uint64(base))
+	h = splitmix64(h ^ (uint64(int64(index))+1)*splitmixGamma)
+	if h == 0 {
+		h = splitmixGamma
+	}
+	return int64(h)
+}

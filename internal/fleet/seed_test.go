@@ -1,0 +1,36 @@
+package fleet
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	if DeriveSeed(1, 3) != DeriveSeed(1, 3) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := map[int64][2]int64{}
+	for _, base := range []int64{0, 1, 2, -1, 1 << 40} {
+		for idx := 0; idx < 1000; idx++ {
+			s := DeriveSeed(base, idx)
+			if s == 0 {
+				t.Fatalf("DeriveSeed(%d,%d) = 0", base, idx)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("collision: (%d,%d) and (%d,%d) both derive %d",
+					prev[0], prev[1], base, idx, s)
+			}
+			seen[s] = [2]int64{base, int64(idx)}
+		}
+	}
+}
+
+func TestDeriveSeedIndexZeroDiffersFromBase(t *testing.T) {
+	// Replicate 0 must not silently reuse the base seed, or a
+	// single-replicate aggregate would alias the unreplicated run.
+	for _, base := range []int64{0, 1, 99} {
+		if DeriveSeed(base, 0) == base {
+			t.Fatalf("DeriveSeed(%d, 0) == base", base)
+		}
+	}
+}

@@ -35,6 +35,16 @@ func (s *Sample) Add(x float64) {
 // Count reports the number of observations.
 func (s *Sample) Count() int { return len(s.xs) }
 
+// Merge appends every observation of other into s. A nil or empty other
+// is a no-op; other is not modified.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || len(other.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, other.xs...)
+	s.sorted = false
+}
+
 // Mean reports the arithmetic mean (0 for an empty sample).
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {
@@ -71,6 +81,19 @@ func (s *Sample) StdDev() float64 {
 		ss += d * d
 	}
 	return math.Sqrt(ss / float64(n))
+}
+
+// CI95 reports the normal-approximation 95% confidence interval of the
+// mean: mean ± 1.96·s/√n. An empty sample yields (0, 0); a single
+// observation yields a degenerate (mean, mean) interval.
+func (s *Sample) CI95() (lo, hi float64) {
+	n := len(s.xs)
+	if n == 0 {
+		return 0, 0
+	}
+	mu := s.Mean()
+	half := 1.96 * s.StdDev() / math.Sqrt(float64(n))
+	return mu - half, mu + half
 }
 
 func (s *Sample) ensureSorted() {

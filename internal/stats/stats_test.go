@@ -305,3 +305,53 @@ func TestMerge(t *testing.T) {
 		t.Fatalf("empty merge nonzero")
 	}
 }
+
+func TestSampleMergeMethod(t *testing.T) {
+	a := sampleOf(1, 2)
+	a.Merge(sampleOf(4, 3))
+	if a.Count() != 4 {
+		t.Fatalf("merged count %d, want 4", a.Count())
+	}
+	if a.Percentile(0) != 1 || a.Percentile(100) != 4 {
+		t.Fatalf("merged percentiles wrong: %v", a.Summarize())
+	}
+	// nil and empty merges are no-ops.
+	a.Merge(nil)
+	a.Merge(&Sample{})
+	if a.Count() != 4 {
+		t.Fatalf("no-op merge changed count to %d", a.Count())
+	}
+	// The source must not be disturbed.
+	b := sampleOf(9)
+	a.Merge(b)
+	if b.Count() != 1 || b.Percentile(50) != 9 {
+		t.Fatalf("merge mutated its source")
+	}
+}
+
+func TestSampleMergeInvalidatesSortCache(t *testing.T) {
+	a := sampleOf(5, 1)
+	_ = a.Percentile(50) // forces a sort
+	a.Merge(sampleOf(0))
+	if a.Percentile(0) != 0 {
+		t.Fatalf("stale sort cache after Merge: min %v", a.Percentile(0))
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if lo, hi := (&Sample{}).CI95(); lo != 0 || hi != 0 {
+		t.Fatalf("empty CI95 = [%v, %v], want [0, 0]", lo, hi)
+	}
+	if lo, hi := sampleOf(7).CI95(); lo != 7 || hi != 7 {
+		t.Fatalf("single-observation CI95 = [%v, %v], want degenerate [7, 7]", lo, hi)
+	}
+	s := sampleOf(2, 4, 6, 8)
+	lo, hi := s.CI95()
+	want := 1.96 * s.StdDev() / 2 // sqrt(n) = 2
+	if math.Abs((hi-lo)/2-want) > 1e-12 {
+		t.Fatalf("half-width %v, want %v", (hi-lo)/2, want)
+	}
+	if math.Abs((hi+lo)/2-s.Mean()) > 1e-12 {
+		t.Fatalf("CI center %v, want mean %v", (hi+lo)/2, s.Mean())
+	}
+}
