@@ -260,12 +260,18 @@ func BenchmarkFleetSweep(b *testing.B) {
 	for _, bc := range []struct {
 		name        string
 		parallelism int
+		observe     experiments.Observe
 	}{
-		{"serial", 1},
-		{"parallel", runtime.GOMAXPROCS(0)},
+		{"serial", 1, experiments.Observe{}},
+		{"parallel", runtime.GOMAXPROCS(0), experiments.Observe{}},
+		// Same parallel sweep with full span tracing on: the gap to
+		// "parallel" is the observability overhead (budget: < 5%
+		// against tracing off; the nil-sink fast path costs a pointer
+		// test per emission site).
+		{"parallel-traced", runtime.GOMAXPROCS(0), experiments.Observe{Trace: true, Metrics: true}},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			cfg := experiments.Config{Requests: benchRequests, Seed: 1, Parallelism: bc.parallelism}
+			cfg := experiments.Config{Requests: benchRequests, Seed: 1, Parallelism: bc.parallelism, Observe: bc.observe}
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.Bottleneck(trace.Websearch(), cfg); err != nil {
 					b.Fatal(err)

@@ -6,11 +6,19 @@
 //
 //	idpbench [-exp all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9a|fig9b]
 //	         [-requests N] [-seed S] [-workload NAME] [-parallel N] [-quiet]
+//	         [-trace out.jsonl] [-metrics] [-pprof out.pb.gz]
 //
 // Independent simulations fan out across -parallel workers (default: all
 // cores) through internal/fleet; every table is buffered per section and
 // printed in canonical order, so the output is byte-identical at any
 // parallelism level. Progress is reported on stderr.
+//
+// With -trace, every simulated request's lifecycle span events
+// (submit/queue/seek/rotate/transfer/complete, with actuator ids) are
+// written as JSON lines; per-job traces are buffered in memory and
+// flushed in submission order, so the JSONL file is also byte-identical
+// at any parallelism. With -metrics, each section appends the systems'
+// statistics snapshots. -pprof writes a CPU profile of the whole run.
 package main
 
 import (
@@ -20,10 +28,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -35,13 +45,36 @@ func main() {
 		wl       = flag.String("workload", "", "restrict trace experiments to one workload (Financial, Websearch, TPC-C, TPC-H)")
 		parallel = flag.Int("parallel", 0, "worker-pool size for independent simulations (0 = GOMAXPROCS)")
 		quiet    = flag.Bool("quiet", false, "suppress per-section progress on stderr")
+		traceOut = flag.String("trace", "", "write request-lifecycle span events to this JSONL file")
+		metrics  = flag.Bool("metrics", false, "append device statistics snapshots to each section")
+		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 	if *parallel < 0 {
 		fmt.Fprintln(os.Stderr, "idpbench: -parallel must be >= 0")
 		os.Exit(1)
 	}
-	cfg := experiments.Config{Requests: *requests, Seed: *seed, Parallelism: *parallel}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	cfg := experiments.Config{
+		Requests:    *requests,
+		Seed:        *seed,
+		Parallelism: *parallel,
+		Observe:     experiments.Observe{Trace: *traceOut != "", Metrics: *metrics},
+	}
 
 	workloads := trace.Workloads()
 	if *wl != "" {
@@ -53,32 +86,56 @@ func main() {
 		workloads = []trace.WorkloadSpec{w}
 	}
 
+	var sink *obs.JSONLSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = obs.NewJSONLSink(f)
+	}
+
 	var progress func(done, total int, job string)
 	if !*quiet {
 		progress = fleet.WriterProgress(os.Stderr)
 	}
-	if err := run(os.Stdout, *exp, cfg, workloads, progress); err != nil {
+	if err := run(os.Stdout, *exp, cfg, workloads, progress, sink); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if sink != nil && sink.Err() != nil {
+		fmt.Fprintln(os.Stderr, "idpbench: trace output:", sink.Err())
 		os.Exit(1)
 	}
 }
 
+// section is one workload's rendered output plus the span events its
+// simulations recorded (nil when tracing is off).
+type section struct {
+	text   string
+	events []obs.Event
+}
+
 // perWorkload renders one section for every workload concurrently and
-// writes the buffered outputs to out in canonical workload order.
-func perWorkload(out io.Writer, section string, workloads []trace.WorkloadSpec,
-	cfg experiments.Config, progress func(int, int, string),
-	render func(w trace.WorkloadSpec, buf *bytes.Buffer) error) error {
-	jobs := make([]fleet.Job[string], len(workloads))
+// writes the buffered outputs to out — and the buffered span events to
+// sink — in canonical workload order.
+func perWorkload(out io.Writer, name string, workloads []trace.WorkloadSpec,
+	cfg experiments.Config, progress func(int, int, string), sink obs.Sink,
+	render func(w trace.WorkloadSpec, buf *bytes.Buffer) ([]obs.Event, error)) error {
+	jobs := make([]fleet.Job[section], len(workloads))
 	for i, w := range workloads {
 		w := w
-		jobs[i] = fleet.Job[string]{
-			Name: section + "/" + w.Name,
-			Run: func(context.Context, int64) (string, error) {
+		jobs[i] = fleet.Job[section]{
+			Name: name + "/" + w.Name,
+			Run: func(context.Context, int64) (section, error) {
 				var buf bytes.Buffer
-				if err := render(w, &buf); err != nil {
-					return "", err
+				evs, err := render(w, &buf)
+				if err != nil {
+					return section{}, err
 				}
-				return buf.String(), nil
+				return section{text: buf.String(), events: evs}, nil
 			},
 		}
 	}
@@ -91,15 +148,38 @@ func perWorkload(out io.Writer, section string, workloads []trace.WorkloadSpec,
 		return err
 	}
 	for _, s := range sections {
-		if _, err := io.WriteString(out, s); err != nil {
+		if _, err := io.WriteString(out, s.text); err != nil {
 			return err
+		}
+		if sink != nil {
+			for _, ev := range s.events {
+				sink.Emit(ev)
+			}
 		}
 	}
 	return nil
 }
 
+// collect appends the runs' span events to evs, in run order.
+func collect(evs []obs.Event, runs ...experiments.Run) []obs.Event {
+	for _, r := range runs {
+		evs = append(evs, r.Events...)
+	}
+	return evs
+}
+
+// writeSnapshots appends the runs' statistics snapshots (recorded when
+// -metrics is set) to the section buffer.
+func writeSnapshots(buf *bytes.Buffer, runs ...experiments.Run) {
+	for _, r := range runs {
+		if r.Snap != nil {
+			obs.WriteText(buf, *r.Snap)
+		}
+	}
+}
+
 func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.WorkloadSpec,
-	progress func(int, int, string)) error {
+	progress func(int, int, string), sink obs.Sink) error {
 	all := exp == "all"
 	ran := false
 
@@ -111,11 +191,11 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 
 	if all || exp == "fig2" || exp == "fig3" {
 		ran = true
-		err := perWorkload(out, "fig2+3", workloads, cfg, progress,
-			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+		err := perWorkload(out, "fig2+3", workloads, cfg, progress, sink,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) ([]obs.Event, error) {
 				ls, err := experiments.LimitStudy(w, cfg)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				if all || exp == "fig2" {
 					experiments.WriteCDFTable(buf,
@@ -129,7 +209,8 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 						[]experiments.Run{ls.MD, ls.HCSD})
 					fmt.Fprintln(buf)
 				}
-				return nil
+				writeSnapshots(buf, ls.MD, ls.HCSD)
+				return collect(nil, ls.MD, ls.HCSD), nil
 			})
 		if err != nil {
 			return err
@@ -138,22 +219,23 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 
 	if all || exp == "fig4" {
 		ran = true
-		err := perWorkload(out, "fig4", workloads, cfg, progress,
-			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+		err := perWorkload(out, "fig4", workloads, cfg, progress, sink,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) ([]obs.Event, error) {
 				ls, err := experiments.LimitStudy(w, cfg)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				b, err := experiments.Bottleneck(w, cfg)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				runs := append([]experiments.Run{ls.HCSD}, b.Cases...)
 				runs = append(runs, ls.MD)
 				experiments.WriteCDFTable(buf,
 					fmt.Sprintf("Figure 4 (%s): bottleneck analysis of HC-SD", w.Name), runs)
 				fmt.Fprintln(buf)
-				return nil
+				writeSnapshots(buf, runs...)
+				return collect(nil, runs...), nil
 			})
 		if err != nil {
 			return err
@@ -162,11 +244,11 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 
 	if all || exp == "fig5" {
 		ran = true
-		err := perWorkload(out, "fig5", workloads, cfg, progress,
-			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+		err := perWorkload(out, "fig5", workloads, cfg, progress, sink,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) ([]obs.Event, error) {
 				ma, err := experiments.MultiActuator(w, cfg, 4)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				runs := append(append([]experiments.Run{}, ma.Runs...), ma.MD)
 				experiments.WriteCDFTable(buf,
@@ -174,7 +256,8 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 				experiments.WritePDFTable(buf,
 					fmt.Sprintf("Figure 5 (%s): rotational-latency PDF", w.Name), ma.Runs)
 				fmt.Fprintln(buf)
-				return nil
+				writeSnapshots(buf, runs...)
+				return collect(nil, runs...), nil
 			})
 		if err != nil {
 			return err
@@ -183,11 +266,11 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 
 	if all || exp == "fig6" || exp == "fig7" {
 		ran = true
-		err := perWorkload(out, "fig6+7", workloads, cfg, progress,
-			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+		err := perWorkload(out, "fig6+7", workloads, cfg, progress, sink,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) ([]obs.Event, error) {
 				rr, err := experiments.ReducedRPM(w, cfg)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				if all || exp == "fig6" {
 					runs := append([]experiments.Run{rr.HCSD}, rr.Runs...)
@@ -201,7 +284,10 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 						fmt.Sprintf("Figure 7 (%s): reduced-RPM designs vs MD", w.Name), runs)
 					fmt.Fprintln(buf)
 				}
-				return nil
+				writeSnapshots(buf, rr.HCSD, rr.MD)
+				writeSnapshots(buf, rr.Runs...)
+				evs := collect(nil, rr.HCSD, rr.MD)
+				return collect(evs, rr.Runs...), nil
 			})
 		if err != nil {
 			return err
@@ -216,40 +302,60 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 		}
 		experiments.WriteRAIDStudy(out, rs)
 		fmt.Fprintln(out)
+		if cfg.Observe.Metrics {
+			var snaps []obs.Snapshot
+			for _, p := range rs.Points {
+				if p.Snap != nil {
+					snaps = append(snaps, *p.Snap)
+				}
+			}
+			if len(snaps) > 0 {
+				fmt.Fprintln(out, "Figure 8: merged array statistics across all points")
+				obs.WriteText(out, fleet.MergeSnapshots(snaps))
+				fmt.Fprintln(out)
+			}
+		}
+		if sink != nil {
+			for _, p := range rs.Points {
+				for _, ev := range p.Events {
+					sink.Emit(ev)
+				}
+			}
+		}
 	}
 
 	if all || exp == "ablations" {
 		ran = true
-		err := perWorkload(out, "ablations", workloads, cfg, progress,
-			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+		err := perWorkload(out, "ablations", workloads, cfg, progress, sink,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) ([]obs.Event, error) {
 				sr, err := experiments.SchedulerAblation(w, cfg)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				experiments.WriteSummaryTable(buf,
 					fmt.Sprintf("Ablation (%s): disk scheduler on HC-SD", w.Name), sr)
 				cr, err := experiments.CacheAblation(w, cfg)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				experiments.WriteSummaryTable(buf,
 					fmt.Sprintf("Ablation (%s): HC-SD cache size", w.Name), cr)
 				rr, err := experiments.RelaxedDesignAblation(w, cfg, 2)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				experiments.WriteSummaryTable(buf,
 					fmt.Sprintf("Ablation (%s): relaxed parallel designs", w.Name), rr)
 				spread, colocated, err := experiments.PlacementAblation(w, cfg, 4)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				experiments.WriteSummaryTable(buf,
 					fmt.Sprintf("Ablation (%s): angular arm placement (rot mean %.2f vs %.2f ms)",
 						w.Name, spread.RotLat.Mean(), colocated.RotLat.Mean()),
 					[]experiments.Run{spread, colocated})
 				fmt.Fprintln(buf)
-				return nil
+				return nil, nil
 			})
 		if err != nil {
 			return err
@@ -259,14 +365,14 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 	if all || exp == "workloads" {
 		ran = true
 		fmt.Fprintln(out, "Workload calibration: synthesized trace statistics (Table 2 shapes)")
-		err := perWorkload(out, "workloads", workloads, cfg, progress,
-			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+		err := perWorkload(out, "workloads", workloads, cfg, progress, sink,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) ([]obs.Event, error) {
 				tr, err := trace.Generate(w.WithRequests(cfg.Requests), cfg.Seed)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				trace.WriteStats(buf, w.Name, trace.Analyze(tr))
-				return nil
+				return nil, nil
 			})
 		if err != nil {
 			return err
@@ -276,17 +382,18 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 
 	if all || exp == "altpower" {
 		ran = true
-		err := perWorkload(out, "altpower", workloads, cfg, progress,
-			func(w trace.WorkloadSpec, buf *bytes.Buffer) error {
+		err := perWorkload(out, "altpower", workloads, cfg, progress, sink,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) ([]obs.Event, error) {
 				ap, err := experiments.AltPower(w, cfg)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				experiments.WriteSummaryTable(buf,
 					fmt.Sprintf("Alternative power knobs (%s): DRPM vs reduced-RPM intra-disk parallelism", w.Name),
 					[]experiments.Run{ap.HCSD, ap.DRPM, ap.SA4Low})
 				fmt.Fprintln(buf)
-				return nil
+				writeSnapshots(buf, ap.HCSD, ap.DRPM, ap.SA4Low)
+				return collect(nil, ap.HCSD, ap.DRPM, ap.SA4Low), nil
 			})
 		if err != nil {
 			return err

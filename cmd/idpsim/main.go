@@ -4,25 +4,37 @@
 // Usage:
 //
 //	idpsim -workload Websearch -system sa4 [-requests N] [-seed S] [-rpm R]
-//	idpsim -trace file.trc -system hcsd
+//	idpsim -replay file.trc -system hcsd
+//	idpsim -system sa4 -trace out.jsonl -metrics
 //
 // Systems:
 //
 //	md     the workload's original multi-disk array (Table 2)
 //	hcsd   the single 750 GB high-capacity drive
 //	saN    the intra-disk parallel drive HC-SD-SA(N), e.g. sa2, sa4
+//
+// Observability:
+//
+//	-trace out.jsonl  stream every request's lifecycle span events
+//	                  (submit/queue/seek/rotate/transfer/complete, with
+//	                  the servicing actuator id) as JSON lines
+//	-metrics          print the device's obs.Snapshot after the run
+//	-pprof out.pb.gz  write a CPU profile of the simulation
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/disk"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/simkit"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -30,29 +42,47 @@ import (
 
 func main() {
 	var (
-		wl        = flag.String("workload", "Websearch", "workload name (Financial, Websearch, TPC-C, TPC-H)")
-		traceFile = flag.String("trace", "", "replay a trace file instead of synthesizing a workload")
-		system    = flag.String("system", "hcsd", "storage system: md, hcsd, or saN (e.g. sa4)")
-		requests  = flag.Int("requests", 100000, "requests to synthesize")
-		seed      = flag.Int64("seed", 1, "workload synthesis seed")
-		rpm       = flag.Float64("rpm", 0, "override drive RPM (reduced-RPM designs)")
+		wl       = flag.String("workload", "Websearch", "workload name (Financial, Websearch, TPC-C, TPC-H)")
+		replay   = flag.String("replay", "", "replay a trace file instead of synthesizing a workload")
+		system   = flag.String("system", "hcsd", "storage system: md, hcsd, or saN (e.g. sa4)")
+		requests = flag.Int("requests", 100000, "requests to synthesize")
+		seed     = flag.Int64("seed", 1, "workload synthesis seed")
+		rpm      = flag.Float64("rpm", 0, "override drive RPM (reduced-RPM designs)")
+		traceOut = flag.String("trace", "", "write request-lifecycle span events to this JSONL file")
+		metrics  = flag.Bool("metrics", false, "print the device statistics snapshot after the run")
+		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
-	if err := run(*wl, *traceFile, *system, *requests, *seed, *rpm); err != nil {
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if err := run(*wl, *replay, *system, *requests, *seed, *rpm, *traceOut, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, traceFile, system string, requests int, seed int64, rpm float64) error {
+func run(wl, replayFile, system string, requests int, seed int64, rpm float64, traceOut string, metrics bool) error {
 	spec, err := trace.WorkloadByName(wl)
 	if err != nil {
 		return err
 	}
 
 	var tr trace.Trace
-	if traceFile != "" {
-		f, err := os.Open(traceFile)
+	if replayFile != "" {
+		f, err := os.Open(replayFile)
 		if err != nil {
 			return err
 		}
@@ -66,14 +96,27 @@ func run(wl, traceFile, system string, requests int, seed int64, rpm float64) er
 		}
 	}
 
+	var sink obs.Sink
+	var jsonl *obs.JSONLSink
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONLSink(f)
+		sink = jsonl
+	}
+
 	eng := simkit.New()
 	label := system
 	var resp *stats.Sample
 	var powerOf func(elapsed float64) string
+	var instrumented device.Instrumented
 
 	switch {
 	case system == "md":
-		md, err := experiments.NewMDSystem(eng, spec)
+		md, err := experiments.NewMDSystem(eng, spec, obs.Options{Sink: sink})
 		if err != nil {
 			return err
 		}
@@ -82,10 +125,11 @@ func run(wl, traceFile, system string, requests int, seed int64, rpm float64) er
 			return experiments.WriteBreakdownBar(md.Router.Power(e))
 		}
 		label = fmt.Sprintf("MD (%d x %s)", spec.Disks, mustModelName(spec))
+		instrumented = md.Router
 
 	case system == "hcsd":
 		model := hcsdModel(rpm)
-		d, err := disk.New(eng, model, disk.Options{})
+		d, err := disk.New(eng, model, disk.Options{Obs: obs.Options{Sink: sink}})
 		if err != nil {
 			return err
 		}
@@ -95,6 +139,7 @@ func run(wl, traceFile, system string, requests int, seed int64, rpm float64) er
 		resp = experiments.Replay(eng, d, tr)
 		powerOf = func(e float64) string { return experiments.WriteBreakdownBar(d.Power(e)) }
 		label = model.Name
+		instrumented = d
 
 	case strings.HasPrefix(system, "sa"):
 		n, err := strconv.Atoi(strings.TrimPrefix(system, "sa"))
@@ -102,7 +147,10 @@ func run(wl, traceFile, system string, requests int, seed int64, rpm float64) er
 			return fmt.Errorf("bad system %q: want saN with N >= 1", system)
 		}
 		model := hcsdModel(rpm)
-		d, err := core.NewSA(eng, model, n)
+		d, err := core.New(eng, model, core.Config{
+			Actuators: n,
+			Obs:       obs.Options{Sink: sink},
+		})
 		if err != nil {
 			return err
 		}
@@ -112,6 +160,7 @@ func run(wl, traceFile, system string, requests int, seed int64, rpm float64) er
 		resp = experiments.Replay(eng, d, tr)
 		powerOf = func(e float64) string { return experiments.WriteBreakdownBar(d.Power(e)) }
 		label = fmt.Sprintf("HC-SD-SA(%d) on %s", n, model.Name)
+		instrumented = d
 
 	default:
 		return fmt.Errorf("unknown system %q", system)
@@ -123,6 +172,13 @@ func run(wl, traceFile, system string, requests int, seed int64, rpm float64) er
 	fmt.Printf("response: %s\n", resp.Summarize())
 	fmt.Printf("CDF:      %s\n", stats.FormatCDFRow(stats.ResponseBucketEdgesMs, resp.ResponseCDF()))
 	fmt.Printf("power:    %s\n", powerOf(elapsed))
+	if jsonl != nil && jsonl.Err() != nil {
+		return fmt.Errorf("trace output: %w", jsonl.Err())
+	}
+	if metrics {
+		fmt.Println()
+		obs.WriteText(os.Stdout, instrumented.Snapshot())
+	}
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/simkit"
 	"repro/internal/trace"
@@ -70,6 +71,19 @@ func (b *Bus) Acquire(bytes int64, done func(at float64)) {
 // Transfers reports how many transfers the bus has carried or reserved.
 func (b *Bus) Transfers() uint64 { return b.transfers }
 
+// Snapshot reports the bus's transfer count and cumulative busy time.
+func (b *Bus) Snapshot() obs.Snapshot {
+	return obs.Snapshot{
+		Device:     "bus",
+		Kind:       "bus",
+		Counters:   map[string]uint64{"transfers": b.transfers},
+		Gauges:     map[string]obs.GaugeValue{"busy_ms": {Value: b.busyMs, Max: b.busyMs}},
+		Histograms: map[string]obs.Histogram{},
+	}
+}
+
+var _ device.Instrumented = (*Bus)(nil)
+
 // Utilization reports the fraction of elapsed wall time the bus was busy.
 func (b *Bus) Utilization(elapsedMs float64) float64 {
 	if elapsedMs <= 0 {
@@ -118,3 +132,28 @@ func (a *Attached) Power(elapsedMs float64) power.Breakdown {
 
 // Capacity passes through to the wrapped device.
 func (a *Attached) Capacity() int64 { return a.dev.Capacity() }
+
+// Snapshot reports the wrapped device's snapshot as a child under a
+// bus-attachment node, so the uniform surface survives the wrapping.
+func (a *Attached) Snapshot() obs.Snapshot {
+	s := obs.Snapshot{
+		Device:     "bus-attached",
+		Kind:       "bus-attached",
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]obs.GaugeValue{},
+		Histograms: map[string]obs.Histogram{},
+	}
+	if in, ok := a.dev.(device.Instrumented); ok {
+		child := in.Snapshot()
+		s.Device = child.Device
+		s.Submitted = child.Submitted
+		s.Completed = child.Completed
+		s.BackgroundCompleted = child.BackgroundCompleted
+		s.CacheHits = child.CacheHits
+		s.Queue = child.Queue
+		s.Children = append(s.Children, child)
+	}
+	return s
+}
+
+var _ device.Instrumented = (*Attached)(nil)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/geom"
 	"repro/internal/mech"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sched"
 	"repro/internal/simkit"
@@ -73,6 +74,12 @@ type Config struct {
 	// fraction of a revolution. The default spreads arms evenly
 	// (arm i at i/n of a revolution).
 	AngularOffsets []float64
+
+	// Obs is the observability hookup: when Obs.Sink is non-nil every
+	// request emits lifecycle span events (with the servicing actuator
+	// id) to it, labeled Obs.Name (default: the model name). A nil
+	// sink costs nothing.
+	Obs obs.Options
 }
 
 func (c Config) channels() int {
@@ -120,6 +127,9 @@ type pending struct {
 	done       device.Done
 	loc        geom.Loc // physical location of the first block, cached at submit
 	background bool     // background-class request (SubmitBackground)
+
+	obsReq   uint64  // span-trace request id (0 when tracing is off)
+	submitMs float64 // queue-entry time, for queue-wait spans
 }
 
 type arm struct {
@@ -160,12 +170,25 @@ type ParallelDrive struct {
 	// that is only dispatched when no foreground request is waiting.
 	bgQueue *sched.Queue[pending]
 
+	submitted   uint64
 	completed   uint64
 	bgCompleted uint64
 	cacheHits   uint64
-	maxQueue    int
 	seekScale   float64
 	rotScale    float64
+
+	// Observability: the emitter (nil when tracing is off), the metrics
+	// registry, and hot-path handles into it. qDepth tracks the
+	// foreground dispatch queue per the obs.QueueStats contract;
+	// background-class work is tracked separately in gBgDepth.
+	name     string
+	em       *obs.Emitter
+	reg      *obs.Registry
+	qDepth   obs.Gauge
+	gBgDepth *obs.Gauge
+	hSeek    *obs.Histogram
+	hRot     *obs.Histogram
+	hXfer    *obs.Histogram
 }
 
 var _ device.Device = (*ParallelDrive)(nil)
@@ -212,6 +235,8 @@ func New(eng *simkit.Engine, model disk.Model, cfg Config) (*ParallelDrive, erro
 	if cfg.Sched != nil {
 		scfg = *cfg.Sched
 	}
+	name := cfg.Obs.Label(model.Name)
+	reg := obs.NewRegistry()
 	d := &ParallelDrive{
 		model:     model,
 		cfg:       cfg,
@@ -225,8 +250,16 @@ func New(eng *simkit.Engine, model disk.Model, cfg Config) (*ParallelDrive, erro
 		acct:      power.NewAccountant(pm),
 		pm:        pm,
 		arms:      make([]arm, cfg.Actuators),
-		seekScale: normalizeScale(cfg.SeekScale),
-		rotScale:  normalizeScale(cfg.RotScale),
+		seekScale: device.NormalizeScale(cfg.SeekScale),
+		rotScale:  device.NormalizeScale(cfg.RotScale),
+
+		name:     name,
+		em:       eng.Emitter(cfg.Obs.Sink, name),
+		reg:      reg,
+		gBgDepth: reg.Gauge("bg_queue_len"),
+		hSeek:    reg.Histogram("seek_ms", obs.PhaseEdgesMs),
+		hRot:     reg.Histogram("rot_ms", obs.PhaseEdgesMs),
+		hXfer:    reg.Histogram("xfer_ms", obs.PhaseEdgesMs),
 	}
 	for i := range d.arms {
 		if cfg.InitialCyls != nil {
@@ -243,20 +276,6 @@ func New(eng *simkit.Engine, model disk.Model, cfg Config) (*ParallelDrive, erro
 		}
 	}
 	return d, nil
-}
-
-// normalizeScale mirrors the disk package's scale semantics.
-func normalizeScale(s float64) float64 {
-	switch {
-	case s == 0:
-		return 1
-	case s == disk.ZeroedScale:
-		return 0
-	case s < 0:
-		panic(fmt.Sprintf("core: invalid scale %v", s))
-	default:
-		return s
-	}
 }
 
 // NewSA builds the paper's HC-SD-SA(n) design point on the given base
@@ -284,8 +303,9 @@ func (d *ParallelDrive) Completed() uint64 { return d.completed }
 // CacheHits reports how many reads were served from the buffer.
 func (d *ParallelDrive) CacheHits() uint64 { return d.cacheHits }
 
-// MaxQueue reports the dispatch queue's high-water mark.
-func (d *ParallelDrive) MaxQueue() int { return d.maxQueue }
+// MaxQueue reports the dispatch queue's high-water mark (see
+// obs.QueueStats for the precise definition).
+func (d *ParallelDrive) MaxQueue() int { return int(d.qDepth.Max()) }
 
 // QueueLen reports the current dispatch queue length.
 func (d *ParallelDrive) QueueLen() int { return d.queue.Len() }
@@ -344,6 +364,7 @@ func (d *ParallelDrive) FailArm(i int) error {
 		p := *a.assigned
 		a.assigned = nil
 		d.queue.Push(p, d.eng.Now())
+		d.qDepth.Set(float64(d.queue.Len()))
 	}
 	return nil
 }
@@ -374,17 +395,24 @@ func (d *ParallelDrive) SubmitBackground(r trace.Request, done device.Done) {
 			d.model.Name, r.LBA, r.End(), d.geo.TotalSectors()))
 	}
 	now := d.eng.Now()
+	d.submitted++
+	req := d.em.NextReq()
+	d.em.Submit(req, r.LBA, r.Sectors, r.Read)
 	if r.Read && d.buf.Lookup(r.LBA, r.Sectors) {
 		d.cacheHits++
 		d.eng.After(d.model.CacheHitMs, func() {
 			d.bgCompleted++
+			d.em.CacheHit(req, d.model.CacheHitMs)
+			d.em.Complete(req, -1, now)
 			if done != nil {
 				done(d.eng.Now())
 			}
 		})
 		return
 	}
-	d.bgQueue.Push(pending{req: r, done: done, loc: d.geo.Locate(r.LBA), background: true}, now)
+	d.bgQueue.Push(pending{req: r, done: done, loc: d.geo.Locate(r.LBA), background: true,
+		obsReq: req, submitMs: now}, now)
+	d.gBgDepth.Set(float64(d.bgQueue.Len()))
 	d.trySchedule()
 }
 
@@ -402,20 +430,24 @@ func (d *ParallelDrive) Submit(r trace.Request, done device.Done) {
 			d.model.Name, r.LBA, r.End(), d.geo.TotalSectors()))
 	}
 	now := d.eng.Now()
+	d.submitted++
+	req := d.em.NextReq()
+	d.em.Submit(req, r.LBA, r.Sectors, r.Read)
 	if r.Read && d.buf.Lookup(r.LBA, r.Sectors) {
 		d.cacheHits++
 		d.eng.After(d.model.CacheHitMs, func() {
 			d.completed++
+			d.em.CacheHit(req, d.model.CacheHitMs)
+			d.em.Complete(req, -1, now)
 			if done != nil {
 				done(d.eng.Now())
 			}
 		})
 		return
 	}
-	d.queue.Push(pending{req: r, done: done, loc: d.geo.Locate(r.LBA)}, now)
-	if d.queue.Len() > d.maxQueue {
-		d.maxQueue = d.queue.Len()
-	}
+	d.queue.Push(pending{req: r, done: done, loc: d.geo.Locate(r.LBA),
+		obsReq: req, submitMs: now}, now)
+	d.qDepth.Set(float64(d.queue.Len()))
 	d.trySchedule()
 }
 
@@ -555,21 +587,25 @@ func (d *ParallelDrive) dispatchOne() bool {
 		if p, ok := d.bgQueue.Pop(now, queueCost); ok {
 			armIdx, _ := d.bestArmFor(p.loc, now)
 			if armIdx != -1 {
+				d.gBgDepth.Set(float64(d.bgQueue.Len()))
 				d.startService(armIdx, p, false, 0)
 				return true
 			}
 			d.bgQueue.Push(p, now)
+			d.gBgDepth.Set(float64(d.bgQueue.Len()))
 		}
 	}
 
 	switch {
 	case fromQueue != nil && (bestAssigned == -1 || fromQueueCost <= bestAssignedCost):
 		p, _ := d.queue.Pop(now, queueCost)
+		d.qDepth.Set(float64(d.queue.Len()))
 		armIdx, _ := d.bestArmFor(p.loc, now)
 		if armIdx == -1 {
 			// Should be impossible: haveIdleArm was true and nothing
 			// changed since. Re-queue defensively.
 			d.queue.Push(p, now)
+			d.qDepth.Set(float64(d.queue.Len()))
 			return false
 		}
 		d.startService(armIdx, p, false, 0)
@@ -618,6 +654,11 @@ func (d *ParallelDrive) startService(armIdx int, p pending, preSeeked bool, remS
 	xferMs := d.transferTime(p.req.LBA, p.req.Sectors)
 	serviceEnd := now + overhead + seekMs + rotMs + xferMs
 
+	d.hSeek.Observe(seekMs)
+	d.hRot.Observe(rotMs)
+	d.hXfer.Observe(xferMs)
+	d.em.Service(p.obsReq, armIdx, p.submitMs, overhead, seekMs, rotMs, xferMs)
+
 	if primary {
 		d.acct.AddSeek(seekMs, 1)
 		d.acct.Add(power.RotLatency, rotMs)
@@ -648,6 +689,7 @@ func (d *ParallelDrive) startService(armIdx int, p pending, preSeeked bool, remS
 		} else {
 			d.buf.InsertWrite(p.req.LBA, p.req.Sectors)
 		}
+		d.em.Complete(p.obsReq, armIdx, p.submitMs)
 		if p.done != nil {
 			p.done(d.eng.Now())
 		}
@@ -712,6 +754,7 @@ func (d *ParallelDrive) preSeekAssign() {
 		if !ok {
 			return
 		}
+		d.qDepth.Set(float64(d.queue.Len()))
 		seekMs, _ := d.posCost(i, p.loc, now)
 		held := p
 		a.assigned = &held
@@ -728,9 +771,12 @@ type DriveStats struct {
 	Completed           uint64
 	BackgroundCompleted uint64
 	CacheHits           uint64
-	MaxQueue            int
-	HealthyArms         int
-	ServicedByArm       []uint64
+	// Queue reports the foreground dispatch queue per the obs.QueueStats
+	// contract: Len is its length now, Max its high-water mark after any
+	// push (including failure re-queues).
+	Queue         obs.QueueStats
+	HealthyArms   int
+	ServicedByArm []uint64
 }
 
 // Stats returns a snapshot of the drive's counters.
@@ -740,8 +786,32 @@ func (d *ParallelDrive) Stats() DriveStats {
 		Completed:           d.completed,
 		BackgroundCompleted: d.bgCompleted,
 		CacheHits:           d.cacheHits,
-		MaxQueue:            d.maxQueue,
+		Queue:               obs.QueueStats{Len: d.queue.Len(), Max: int(d.qDepth.Max())},
 		HealthyArms:         d.HealthyArms(),
 		ServicedByArm:       d.ServicedByArm(),
 	}
 }
+
+// Snapshot captures the drive's statistics as the uniform obs surface.
+// Beyond the typed fields it reports per-arm service counts
+// ("armN_serviced"), the healthy-arm count, the background queue gauge
+// and the mechanical-phase histograms.
+func (d *ParallelDrive) Snapshot() obs.Snapshot {
+	s := obs.Snapshot{
+		Device:              d.name,
+		Kind:                "parallel-drive",
+		Submitted:           d.submitted,
+		Completed:           d.completed,
+		BackgroundCompleted: d.bgCompleted,
+		CacheHits:           d.cacheHits,
+		Queue:               obs.QueueStats{Len: d.queue.Len(), Max: int(d.qDepth.Max())},
+	}
+	d.reg.Fill(&s)
+	for i := range d.arms {
+		s.Counters[fmt.Sprintf("arm%d_serviced", i)] = d.arms[i].serviced
+	}
+	s.Counters["healthy_arms"] = uint64(d.HealthyArms())
+	return s
+}
+
+var _ device.Instrumented = (*ParallelDrive)(nil)

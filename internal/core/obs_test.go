@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/simkit"
+	"repro/internal/trace"
+)
+
+// TestTraceDecomposition replays a trace against an SA(2) drive and
+// checks the span stream: every lifecycle completes, mechanical phases
+// carry a valid arm id, and the phase decomposition sums to the
+// measured response time.
+func TestTraceDecomposition(t *testing.T) {
+	sink := &obs.MemorySink{}
+	eng := simkit.New()
+	d, err := New(eng, smallModel(), Config{Actuators: 2, Obs: obs.Options{Sink: sink, Name: "sa2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(21, 500, 2, d.Capacity())
+	resp := replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+
+	lcs := obs.Lifecycles(sink.Events())
+	if len(lcs) != len(tr) {
+		t.Fatalf("got %d lifecycles, want %d", len(lcs), len(tr))
+	}
+	armSeen := map[int]int{}
+	for i, lc := range lcs {
+		if !lc.Complete || lc.Dev != "sa2" {
+			t.Fatalf("lifecycle %d: %+v", i, lc)
+		}
+		if math.Abs(lc.PhaseSumMs()-lc.ResponseMs) > 1e-9 {
+			t.Fatalf("lifecycle %d: phase sum %g != response %g", i, lc.PhaseSumMs(), lc.ResponseMs)
+		}
+		if math.Abs(lc.ResponseMs-resp[i]) > 1e-9 {
+			t.Fatalf("request %d: traced response %g, measured %g", i, lc.ResponseMs, resp[i])
+		}
+		if !lc.CacheHit {
+			if lc.Arm < 0 || lc.Arm >= 2 {
+				t.Fatalf("lifecycle %d served by arm %d", i, lc.Arm)
+			}
+			armSeen[lc.Arm]++
+		}
+	}
+	// Both actuators served traffic, and the per-arm tallies agree with
+	// the drive's own counters.
+	by := d.ServicedByArm()
+	for a := 0; a < 2; a++ {
+		if armSeen[a] == 0 {
+			t.Fatalf("arm %d served nothing (per trace)", a)
+		}
+		if uint64(armSeen[a]) != by[a] {
+			t.Fatalf("arm %d: trace says %d, drive says %d", a, armSeen[a], by[a])
+		}
+	}
+}
+
+// TestSnapshotMatchesLegacyGetters pins the uniform stats surface to
+// the getters and DriveStats fields it supersedes.
+func TestSnapshotMatchesLegacyGetters(t *testing.T) {
+	eng, d := newSA(t, 4)
+	tr := randomTrace(22, 400, 1.5, d.Capacity())
+	replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+
+	s := d.Snapshot()
+	st := d.Stats()
+	if s.Kind != "parallel-drive" || s.Device != "test-small" {
+		t.Fatalf("identity %q/%q", s.Device, s.Kind)
+	}
+	if s.Submitted != uint64(len(tr)) || s.Completed != d.Completed() || s.CacheHits != d.CacheHits() {
+		t.Fatalf("typed fields %+v vs getters", s)
+	}
+	if s.BackgroundCompleted != d.BackgroundCompleted() {
+		t.Fatalf("background %d vs %d", s.BackgroundCompleted, d.BackgroundCompleted())
+	}
+	if s.Queue != st.Queue || s.Queue.Len != d.QueueLen() || s.Queue.Max != d.MaxQueue() {
+		t.Fatalf("queue %+v vs stats %+v (len=%d max=%d)", s.Queue, st.Queue, d.QueueLen(), d.MaxQueue())
+	}
+	if s.Counters["healthy_arms"] != uint64(d.HealthyArms()) {
+		t.Fatalf("healthy_arms %d vs %d", s.Counters["healthy_arms"], d.HealthyArms())
+	}
+	for i, n := range d.ServicedByArm() {
+		key := fmt.Sprintf("arm%d_serviced", i)
+		if s.Counters[key] != n {
+			t.Fatalf("%s = %d, want %d", key, s.Counters[key], n)
+		}
+	}
+	media := s.Completed - s.CacheHits
+	if h := s.Histograms["seek_ms"]; h.N != media || h.N == 0 {
+		t.Fatalf("seek histogram N=%d, want %d", h.N, media)
+	}
+}
+
+// TestTracingDoesNotPerturb runs the same trace with and without a
+// sink: response times must be bit-identical.
+func TestTracingDoesNotPerturb(t *testing.T) {
+	capEng := simkit.New()
+	capDrive, err := NewSA(capEng, smallModel(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(23, 300, 2, capDrive.Capacity())
+
+	run := func(o obs.Options) []float64 {
+		eng := simkit.New()
+		d, err := New(eng, smallModel(), Config{Actuators: 2, Obs: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return replay(eng, func(r trace.Request, f func(float64)) { d.Submit(r, f) }, tr)
+	}
+	plain := run(obs.Options{})
+	sink := &obs.MemorySink{}
+	traced := run(obs.Options{Sink: sink})
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("request %d: tracing perturbed response %g -> %g", i, plain[i], traced[i])
+		}
+	}
+	if len(sink.Events()) == 0 {
+		t.Fatalf("traced run emitted nothing")
+	}
+}

@@ -3,6 +3,9 @@
 package device
 
 import (
+	"fmt"
+
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/trace"
 )
@@ -21,4 +24,38 @@ type Device interface {
 	Power(elapsedMs float64) power.Breakdown
 	// Capacity reports the device's addressable size in sectors.
 	Capacity() int64
+}
+
+// Instrumented is the uniform statistics surface: any component that
+// can report an obs.Snapshot. All the storage devices in this
+// repository implement it; composite devices (arrays, routers, bus
+// attachments) roll their members up as snapshot children, so one
+// interface replaces the per-device getter zoo for every consumer that
+// only wants numbers out.
+type Instrumented interface {
+	// Snapshot captures the component's statistics at the current
+	// simulated time. The result is a deep copy: it never aliases live
+	// instruments and stays valid after the simulation moves on.
+	Snapshot() obs.Snapshot
+}
+
+// ZeroedScale is a seek/rotation scale value meaning "exactly zero" —
+// distinguishable from an unset (default 1.0) scale. It implements the
+// paper's Figure 4 limit-study points S=0 and R=0.
+const ZeroedScale = -1
+
+// NormalizeScale resolves the scale semantics shared by every drive
+// model: 0 means unset (1.0), ZeroedScale means exactly 0, any other
+// negative value is a configuration bug.
+func NormalizeScale(s float64) float64 {
+	switch {
+	case s == 0:
+		return 1
+	case s == ZeroedScale:
+		return 0
+	case s < 0:
+		panic(fmt.Sprintf("device: invalid scale %v", s))
+	default:
+		return s
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/geom"
 	"repro/internal/mech"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sched"
 	"repro/internal/simkit"
@@ -39,24 +40,16 @@ type Options struct {
 	// acknowledged at cache latency and destaged to the media in the
 	// background, yielding to foreground reads.
 	WriteCache bool
+
+	// Obs is the observability hookup: when Obs.Sink is non-nil every
+	// request emits lifecycle span events to it, labeled Obs.Name
+	// (default: the model name). A nil sink costs nothing.
+	Obs obs.Options
 }
 
 // ZeroedScale is a scale value meaning "exactly zero" — distinguishable
-// from an unset (default 1.0) scale.
-const ZeroedScale = -1
-
-func normalizeScale(s float64) float64 {
-	switch {
-	case s == 0:
-		return 1
-	case s == ZeroedScale:
-		return 0
-	case s < 0:
-		panic(fmt.Sprintf("disk: invalid scale %v", s))
-	default:
-		return s
-	}
-}
+// from an unset (default 1.0) scale (see device.NormalizeScale).
+const ZeroedScale = device.ZeroedScale
 
 // DefaultSchedConfig is the dispatch configuration drives use when the
 // caller does not override it: the paper's SPTF policy, with a bounded
@@ -66,10 +59,14 @@ func DefaultSchedConfig() sched.Config {
 }
 
 type pending struct {
-	req   trace.Request
-	done  device.Done
-	loc   geom.Loc // physical location of the first block, cached at submit
-	flush bool     // background destage of a write-back-cached write
+	req      trace.Request
+	done     device.Done
+	loc      geom.Loc // physical location of the first block, cached at submit
+	flush    bool     // background destage of a write-back-cached write
+	fragment bool     // extent of a defect-fragmented request (parent completes it)
+
+	obsReq   uint64  // span-trace request id (0 when tracing is off)
+	submitMs float64 // queue-entry time, for queue-wait spans
 }
 
 // Drive is a conventional single-actuator disk drive attached to a
@@ -90,13 +87,25 @@ type Drive struct {
 	armCyl int
 	busy   bool
 
-	completed  uint64
-	cacheHits  uint64
-	flushes    uint64
-	defectHops uint64
-	maxQueue   int
-	seekScale  float64
-	rotScale   float64
+	submitted uint64
+	completed uint64
+	cacheHits uint64
+	seekScale float64
+	rotScale  float64
+
+	// Observability: the emitter (nil when tracing is off), the metrics
+	// registry, and hot-path handles into it. qDepth tracks the
+	// foreground dispatch queue per the obs.QueueStats contract.
+	name        string
+	em          *obs.Emitter
+	reg         *obs.Registry
+	qDepth      obs.Gauge
+	gDirty      *obs.Gauge
+	cFlushes    *obs.Counter
+	cDefectHops *obs.Counter
+	hSeek       *obs.Histogram
+	hRot        *obs.Histogram
+	hXfer       *obs.Histogram
 }
 
 var _ device.Device = (*Drive)(nil)
@@ -130,7 +139,9 @@ func New(eng *simkit.Engine, model Model, opts Options) (*Drive, error) {
 	if opts.Sched != nil {
 		cfg = *opts.Sched
 	}
-	return &Drive{
+	name := opts.Obs.Label(model.Name)
+	reg := obs.NewRegistry()
+	d := &Drive{
 		model:     model,
 		eng:       eng,
 		geo:       geo,
@@ -142,9 +153,20 @@ func New(eng *simkit.Engine, model Model, opts Options) (*Drive, error) {
 		acct:      power.NewAccountant(pm),
 		pm:        pm,
 		opts:      opts,
-		seekScale: normalizeScale(opts.SeekScale),
-		rotScale:  normalizeScale(opts.RotScale),
-	}, nil
+		seekScale: device.NormalizeScale(opts.SeekScale),
+		rotScale:  device.NormalizeScale(opts.RotScale),
+
+		name:        name,
+		em:          eng.Emitter(opts.Obs.Sink, name),
+		reg:         reg,
+		gDirty:      reg.Gauge("dirty_writes"),
+		cFlushes:    reg.Counter("flushes"),
+		cDefectHops: reg.Counter("defect_hops"),
+		hSeek:       reg.Histogram("seek_ms", obs.PhaseEdgesMs),
+		hRot:        reg.Histogram("rot_ms", obs.PhaseEdgesMs),
+		hXfer:       reg.Histogram("xfer_ms", obs.PhaseEdgesMs),
+	}
+	return d, nil
 }
 
 // Model returns the drive's static model.
@@ -164,7 +186,7 @@ func (d *Drive) Capacity() int64 {
 
 // DefectHops reports how many requests needed extra extents because of
 // grown-defect remapping.
-func (d *Drive) DefectHops() uint64 { return d.defectHops }
+func (d *Drive) DefectHops() uint64 { return d.cDefectHops.Value() }
 
 // Completed reports how many requests have finished.
 func (d *Drive) Completed() uint64 { return d.completed }
@@ -172,8 +194,9 @@ func (d *Drive) Completed() uint64 { return d.completed }
 // CacheHits reports how many reads were served from the buffer.
 func (d *Drive) CacheHits() uint64 { return d.cacheHits }
 
-// MaxQueue reports the dispatch queue's high-water mark.
-func (d *Drive) MaxQueue() int { return d.maxQueue }
+// MaxQueue reports the dispatch queue's high-water mark (see
+// obs.QueueStats for the precise definition).
+func (d *Drive) MaxQueue() int { return int(d.qDepth.Max()) }
 
 // QueueLen reports the current dispatch queue length.
 func (d *Drive) QueueLen() int { return d.queue.Len() }
@@ -182,10 +205,28 @@ func (d *Drive) QueueLen() int { return d.queue.Len() }
 func (d *Drive) Busy() bool { return d.busy }
 
 // Flushes reports how many write-back destages have hit the media.
-func (d *Drive) Flushes() uint64 { return d.flushes }
+func (d *Drive) Flushes() uint64 { return d.cFlushes.Value() }
 
 // DirtyWrites reports how many destages are still pending.
 func (d *Drive) DirtyWrites() int { return d.flushQ.Len() }
+
+// Snapshot implements device.Instrumented: the drive's uniform stats
+// surface, carrying everything the legacy getters report plus the
+// per-phase service-time histograms.
+func (d *Drive) Snapshot() obs.Snapshot {
+	s := obs.Snapshot{
+		Device:    d.name,
+		Kind:      "disk",
+		Submitted: d.submitted,
+		Completed: d.completed,
+		CacheHits: d.cacheHits,
+		Queue:     obs.QueueStats{Len: d.queue.Len(), Max: int(d.qDepth.Max())},
+	}
+	d.reg.Fill(&s)
+	return s
+}
+
+var _ device.Instrumented = (*Drive)(nil)
 
 // Power reports the drive's average-power breakdown over elapsed ms.
 func (d *Drive) Power(elapsedMs float64) power.Breakdown {
@@ -204,10 +245,15 @@ func (d *Drive) Submit(r trace.Request, done device.Done) {
 			d.model.Name, r.LBA, r.End(), d.geo.TotalSectors()))
 	}
 	now := d.eng.Now()
+	d.submitted++
+	req := d.em.NextReq()
+	d.em.Submit(req, r.LBA, r.Sectors, r.Read)
 	if r.Read && d.buf.Lookup(r.LBA, r.Sectors) {
 		d.cacheHits++
 		d.eng.After(d.model.CacheHitMs, func() {
 			d.completed++
+			d.em.CacheHit(req, d.model.CacheHitMs)
+			d.em.Complete(req, -1, now)
 			if done != nil {
 				done(d.eng.Now())
 			}
@@ -225,27 +271,31 @@ func (d *Drive) Submit(r trace.Request, done device.Done) {
 			// (Firmware caches logically; this model skips cache insertion
 			// for fragmented requests — a read of the exact range will
 			// fragment again, which is the behavior defects actually cost.)
-			d.defectHops++
+			d.cDefectHops.Inc()
 			outstanding := len(exts)
 			var last float64
 			for _, e := range exts {
 				sub := pending{
-					req: trace.Request{LBA: e.LBA, Sectors: e.Sectors, Read: r.Read},
-					loc: d.geo.Locate(e.LBA),
+					req:      trace.Request{LBA: e.LBA, Sectors: e.Sectors, Read: r.Read},
+					loc:      d.geo.Locate(e.LBA),
+					fragment: true,
+					obsReq:   req,
+					submitMs: now,
 					done: func(at float64) {
 						if at > last {
 							last = at
 						}
 						outstanding--
-						if outstanding == 0 && done != nil {
-							done(last)
+						if outstanding == 0 {
+							d.em.Complete(req, -1, now)
+							if done != nil {
+								done(last)
+							}
 						}
 					},
 				}
 				d.queue.Push(sub, now)
-			}
-			if d.queue.Len() > d.maxQueue {
-				d.maxQueue = d.queue.Len()
+				d.qDepth.Set(float64(d.queue.Len()))
 			}
 			d.trySchedule()
 			return
@@ -256,18 +306,19 @@ func (d *Drive) Submit(r trace.Request, done device.Done) {
 		d.buf.InsertWrite(r.LBA, r.Sectors)
 		d.eng.After(d.model.CacheHitMs, func() {
 			d.completed++
+			d.em.CacheHit(req, d.model.CacheHitMs)
+			d.em.Complete(req, -1, now)
 			if done != nil {
 				done(d.eng.Now())
 			}
 		})
-		d.flushQ.Push(pending{req: r, loc: d.geo.Locate(r.LBA), flush: true}, now)
+		d.flushQ.Push(pending{req: r, loc: d.geo.Locate(r.LBA), flush: true, submitMs: now}, now)
+		d.gDirty.Set(float64(d.flushQ.Len()))
 		d.trySchedule()
 		return
 	}
-	d.queue.Push(pending{req: r, done: done, loc: d.geo.Locate(r.LBA)}, now)
-	if d.queue.Len() > d.maxQueue {
-		d.maxQueue = d.queue.Len()
-	}
+	d.queue.Push(pending{req: r, done: done, loc: d.geo.Locate(r.LBA), obsReq: req, submitMs: now}, now)
+	d.qDepth.Set(float64(d.queue.Len()))
 	d.trySchedule()
 }
 
@@ -312,11 +363,14 @@ func (d *Drive) trySchedule() {
 	now := d.eng.Now()
 	cost := d.dispatchCost(now)
 	p, ok := d.queue.Pop(now, cost)
-	if !ok {
+	if ok {
+		d.qDepth.Set(float64(d.queue.Len()))
+	} else {
 		// Foreground queue empty: destage dirty writes in the background.
 		if p, ok = d.flushQ.Pop(now, cost); !ok {
 			return
 		}
+		d.gDirty.Set(float64(d.flushQ.Len()))
 	}
 	d.busy = true
 	seekMs, rotMs := d.positioning(p.loc, now)
@@ -326,10 +380,20 @@ func (d *Drive) trySchedule() {
 	d.acct.AddSeek(seekMs, 1)
 	d.acct.Add(power.RotLatency, rotMs)
 	d.acct.Add(power.Transfer, xferMs)
+	d.hSeek.Observe(seekMs)
+	d.hRot.Observe(rotMs)
+	d.hXfer.Observe(xferMs)
 	if d.opts.OnService != nil {
 		d.opts.OnService(seekMs, rotMs, xferMs)
 	}
 	d.armCyl = p.loc.Cyl
+
+	obsReq := p.obsReq
+	if p.flush {
+		// Destages complete no request; they trace under their own id.
+		obsReq = d.em.NextReq()
+	}
+	d.em.Service(obsReq, 0, p.submitMs, d.model.ControllerOverheadMs, seekMs, rotMs, xferMs)
 
 	d.eng.At(serviceEnd, func() {
 		d.busy = false
@@ -337,13 +401,17 @@ func (d *Drive) trySchedule() {
 		case p.flush:
 			// Destage: the logical write already completed at ack time
 			// and the data is already in the cache.
-			d.flushes++
+			d.cFlushes.Inc()
+			d.em.Span(obsReq, obs.PhaseFlush, 0, d.eng.Now(), 0)
 		case p.req.Read:
 			d.completed++
 			d.buf.InsertRead(p.req.LBA, p.req.Sectors)
 		default:
 			d.completed++
 			d.buf.InsertWrite(p.req.LBA, p.req.Sectors)
+		}
+		if !p.flush && !p.fragment {
+			d.em.Complete(obsReq, 0, p.submitMs)
 		}
 		if p.done != nil {
 			p.done(d.eng.Now())

@@ -1,0 +1,153 @@
+package disk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/simkit"
+	"repro/internal/trace"
+)
+
+// obsTrace builds a deterministic random request stream within cap.
+func obsTrace(seed int64, n int, meanGapMs float64, capacity int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := make(trace.Trace, n)
+	now := 0.0
+	for i := range tr {
+		now += rng.ExpFloat64() * meanGapMs
+		tr[i] = trace.Request{
+			ArrivalMs: now,
+			LBA:       rng.Int63n(capacity - 300),
+			Sectors:   1 + rng.Intn(64),
+			Read:      rng.Intn(100) < 60,
+		}
+	}
+	return tr
+}
+
+// obsReplay submits the trace and returns per-request response times.
+func obsReplay(eng *simkit.Engine, d *Drive, tr trace.Trace) []float64 {
+	resp := make([]float64, len(tr))
+	for i, r := range tr {
+		i, r := i, r
+		eng.At(r.ArrivalMs, func() {
+			d.Submit(r, func(at float64) { resp[i] = at - r.ArrivalMs })
+		})
+	}
+	eng.Run()
+	return resp
+}
+
+// TestTracePhaseSumEqualsResponse is the trace schema's core invariant:
+// for every completed request, the reconstructed queue + overhead +
+// seek + rotate + transfer decomposition sums to the measured response
+// time (cache hits decompose as a single cache-hit span).
+func TestTracePhaseSumEqualsResponse(t *testing.T) {
+	sink := &obs.MemorySink{}
+	eng, d := newDrive(t, smallModel(), Options{Obs: obs.Options{Sink: sink, Name: "d0"}})
+	tr := obsTrace(11, 400, 4, d.Capacity())
+	resp := obsReplay(eng, d, tr)
+
+	lcs := obs.Lifecycles(sink.Events())
+	if len(lcs) != len(tr) {
+		t.Fatalf("got %d lifecycles, want %d", len(lcs), len(tr))
+	}
+	hits := 0
+	for i, lc := range lcs {
+		if !lc.Complete {
+			t.Fatalf("lifecycle %d incomplete: %+v", i, lc)
+		}
+		if lc.Dev != "d0" {
+			t.Fatalf("lifecycle %d device %q", i, lc.Dev)
+		}
+		if math.Abs(lc.PhaseSumMs()-lc.ResponseMs) > 1e-9 {
+			t.Fatalf("lifecycle %d: phase sum %g != response %g (%+v)",
+				i, lc.PhaseSumMs(), lc.ResponseMs, lc)
+		}
+		if lc.CacheHit {
+			hits++
+			if lc.SeekMs != 0 || lc.TransferMs != 0 {
+				t.Fatalf("cache hit %d has mechanical phases: %+v", i, lc)
+			}
+		} else if lc.TransferMs <= 0 {
+			t.Fatalf("media request %d has no transfer span: %+v", i, lc)
+		}
+	}
+	if hits != int(d.CacheHits()) {
+		t.Fatalf("trace shows %d cache hits, drive counted %d", hits, d.CacheHits())
+	}
+	// Request ids arrive in submission order, so lifecycle i is trace
+	// request i: the traced response matches the measured one.
+	for i, lc := range lcs {
+		if math.Abs(lc.ResponseMs-resp[i]) > 1e-9 {
+			t.Fatalf("request %d: traced response %g, measured %g", i, lc.ResponseMs, resp[i])
+		}
+	}
+}
+
+// TestSnapshotMatchesLegacyGetters pins the redesigned uniform stats
+// surface to the getters it replaces.
+func TestSnapshotMatchesLegacyGetters(t *testing.T) {
+	eng, d := newDrive(t, smallModel(), Options{WriteCache: true})
+	tr := obsTrace(12, 300, 3, d.Capacity())
+	obsReplay(eng, d, tr)
+
+	s := d.Snapshot()
+	if s.Device != "test-small" || s.Kind != "disk" {
+		t.Fatalf("identity %q/%q", s.Device, s.Kind)
+	}
+	if s.Submitted != uint64(len(tr)) {
+		t.Fatalf("submitted %d, want %d", s.Submitted, len(tr))
+	}
+	if s.Completed != d.Completed() || s.CacheHits != d.CacheHits() {
+		t.Fatalf("snapshot %d/%d vs getters %d/%d",
+			s.Completed, s.CacheHits, d.Completed(), d.CacheHits())
+	}
+	if s.Queue.Len != d.QueueLen() || s.Queue.Max != d.MaxQueue() {
+		t.Fatalf("queue %+v vs getters len=%d max=%d", s.Queue, d.QueueLen(), d.MaxQueue())
+	}
+	if s.Counters["flushes"] != d.Flushes() || s.Counters["defect_hops"] != d.DefectHops() {
+		t.Fatalf("counters %v vs flushes=%d hops=%d", s.Counters, d.Flushes(), d.DefectHops())
+	}
+	if d.Flushes() == 0 {
+		t.Fatalf("write-back run destaged nothing")
+	}
+	if g := s.Gauges["dirty_writes"]; int(g.Value) != d.DirtyWrites() {
+		t.Fatalf("dirty_writes gauge %+v vs getter %d", g, d.DirtyWrites())
+	}
+	// The per-phase histograms saw every media service: read misses plus
+	// destaged writes (acked writes split into flushes + still-dirty).
+	media := s.Completed - s.CacheHits - uint64(d.DirtyWrites())
+	if h := s.Histograms["seek_ms"]; h.N != media || h.N == 0 {
+		t.Fatalf("seek histogram N=%d, want %d media services", h.N, media)
+	}
+}
+
+// TestNilSinkIsInert proves observability off means off: no events, and
+// response times identical to a traced run of the same trace.
+func TestNilSinkIsInert(t *testing.T) {
+	capEng := simkit.New()
+	capDrive, err := New(capEng, smallModel(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obsTrace(13, 200, 4, capDrive.Capacity())
+
+	run := func(o obs.Options) []float64 {
+		eng, d := newDrive(t, smallModel(), Options{Obs: o})
+		return obsReplay(eng, d, tr)
+	}
+	plain := run(obs.Options{})
+	sink := &obs.MemorySink{}
+	traced := run(obs.Options{Sink: sink})
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("request %d: tracing perturbed response %g -> %g", i, plain[i], traced[i])
+		}
+	}
+	if len(sink.Events()) == 0 {
+		t.Fatalf("traced run emitted nothing")
+	}
+}

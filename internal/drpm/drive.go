@@ -22,6 +22,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/geom"
 	"repro/internal/mech"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sched"
 	"repro/internal/simkit"
@@ -106,6 +107,7 @@ type Drive struct {
 	armCyl        int
 	idleTimerSeq  uint64
 
+	submitted   uint64
 	completed   uint64
 	cacheHits   uint64
 	transitions uint64
@@ -199,6 +201,32 @@ func (d *Drive) CacheHits() uint64 { return d.cacheHits }
 // Capacity reports the drive's size in sectors.
 func (d *Drive) Capacity() int64 { return d.geo.TotalSectors() }
 
+// Snapshot reports the drive's counters on the uniform obs surface:
+// the current and per-level residency gauges alongside the request
+// counters.
+func (d *Drive) Snapshot() obs.Snapshot {
+	s := obs.Snapshot{
+		Device:    d.model.Name,
+		Kind:      "drpm-drive",
+		Submitted: d.submitted,
+		Completed: d.completed,
+		CacheHits: d.cacheHits,
+		Queue:     obs.QueueStats{Len: d.queue.Len()},
+		Counters:  map[string]uint64{"transitions": d.transitions},
+		Gauges: map[string]obs.GaugeValue{
+			"level":     {Value: float64(d.level), Max: float64(len(d.cfg.Levels) - 1)},
+			"level_rpm": {Value: d.LevelRPM(), Max: d.cfg.Levels[0]},
+		},
+		Histograms: map[string]obs.Histogram{},
+	}
+	for i, ms := range d.LevelResidency() {
+		s.Gauges[fmt.Sprintf("level%d_ms", i)] = obs.GaugeValue{Value: ms, Max: ms}
+	}
+	return s
+}
+
+var _ device.Instrumented = (*Drive)(nil)
+
 // LevelResidency returns the wall time spent at each level so far.
 func (d *Drive) LevelResidency() []float64 {
 	out := append([]float64(nil), d.levelMs...)
@@ -284,6 +312,7 @@ func (d *Drive) Submit(r trace.Request, done device.Done) {
 	if r.End() > d.geo.TotalSectors() {
 		panic(fmt.Sprintf("drpm: request [%d,%d) beyond capacity %d", r.LBA, r.End(), d.geo.TotalSectors()))
 	}
+	d.submitted++
 	if r.Read && d.buf.Lookup(r.LBA, r.Sectors) {
 		d.cacheHits++
 		d.eng.After(d.model.CacheHitMs, func() {

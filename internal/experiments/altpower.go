@@ -64,7 +64,7 @@ func AltPower(spec trace.WorkloadSpec, cfg Config) (*AltPowerResult, error) {
 	}
 
 	// The paper's answer: SA(4) at a permanently reduced RPM.
-	sa, err := saRunOnTrace(hcsdTr, 4, 5200)
+	sa, err := saRunOnTrace(hcsdTr, 4, 5200, cfg.Observe)
 	if err != nil {
 		return nil, err
 	}

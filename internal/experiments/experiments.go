@@ -14,6 +14,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/disk"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/raid"
 	"repro/internal/simkit"
@@ -34,6 +35,60 @@ type Config struct {
 	// and replays the same deterministically generated trace, so
 	// results are byte-identical at any parallelism level.
 	Parallelism int
+
+	// Observe selects what each run records beyond its samples.
+	Observe Observe
+}
+
+// Observe selects the observability outputs of an experiment run. Both
+// default off, which costs nothing: devices are built with a nil trace
+// sink and no snapshot is taken.
+type Observe struct {
+	// Trace records every request's lifecycle span events into
+	// Run.Events. Each simulation traces into a private in-memory sink,
+	// and fleet.Run returns results in submission order, so the
+	// concatenated trace is byte-identical at any Parallelism.
+	Trace bool
+	// Metrics captures the system's obs.Snapshot into Run.Snap after
+	// the replay finishes.
+	Metrics bool
+}
+
+// sink returns the per-job trace sink: a fresh in-memory buffer when
+// tracing is on, nil (free) otherwise.
+func (o Observe) sink() *obs.MemorySink {
+	if !o.Trace {
+		return nil
+	}
+	return &obs.MemorySink{}
+}
+
+// events extracts the buffered events (nil when tracing is off).
+func (o Observe) events(sink *obs.MemorySink) []obs.Event {
+	if sink == nil {
+		return nil
+	}
+	return sink.Events()
+}
+
+// snap captures dev's snapshot when metrics are on.
+func (o Observe) snap(dev device.Instrumented) *obs.Snapshot {
+	if !o.Metrics {
+		return nil
+	}
+	s := dev.Snapshot()
+	return &s
+}
+
+// sinkOptions builds a device's obs hookup from a possibly-nil memory
+// sink, keeping the Sink interface value nil (not a typed nil pointer)
+// when tracing is off.
+func sinkOptions(sink *obs.MemorySink, name string) obs.Options {
+	o := obs.Options{Name: name}
+	if sink != nil {
+		o.Sink = sink
+	}
+	return o
 }
 
 // DefaultConfig returns the standard experiment scale.
@@ -63,6 +118,14 @@ type Run struct {
 	Power     power.Breakdown
 	ElapsedMs float64
 	Completed uint64
+
+	// Events is the run's request-lifecycle span trace, recorded when
+	// Config.Observe.Trace is set (nil otherwise). Deterministic: the
+	// same config yields the same events at any Parallelism.
+	Events []obs.Event
+	// Snap is the system's statistics snapshot, captured after the
+	// replay when Config.Observe.Metrics is set (nil otherwise).
+	Snap *obs.Snapshot
 }
 
 // ResponseCDF evaluates the run's response-time CDF over the paper's
@@ -106,8 +169,10 @@ type MDSystem struct {
 	Drives []*disk.Drive
 }
 
-// NewMDSystem builds the MD array for a workload on the engine.
-func NewMDSystem(eng *simkit.Engine, spec trace.WorkloadSpec) (*MDSystem, error) {
+// NewMDSystem builds the MD array for a workload on the engine. The obs
+// hookup is shared by every member: each drive traces into ob.Sink
+// labeled "md0", "md1", ... (a nil sink costs nothing).
+func NewMDSystem(eng *simkit.Engine, spec trace.WorkloadSpec, ob obs.Options) (*MDSystem, error) {
 	model, err := MDDriveModel(spec)
 	if err != nil {
 		return nil, err
@@ -115,7 +180,9 @@ func NewMDSystem(eng *simkit.Engine, spec trace.WorkloadSpec) (*MDSystem, error)
 	drives := make([]*disk.Drive, spec.Disks)
 	members := make([]device.Device, spec.Disks)
 	for i := range drives {
-		d, err := disk.New(eng, model, disk.Options{})
+		d, err := disk.New(eng, model, disk.Options{
+			Obs: obs.Options{Sink: ob.Sink, Name: fmt.Sprintf("md%d", i)},
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +261,8 @@ func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) 
 	jobs := []fleet.Job[Run]{
 		{Name: spec.Name + "/MD", Run: func(context.Context, int64) (Run, error) {
 			eng := simkit.New()
-			md, err := NewMDSystem(eng, spec)
+			sink := cfg.Observe.sink()
+			md, err := NewMDSystem(eng, spec, sinkOptions(sink, ""))
 			if err != nil {
 				return Run{}, err
 			}
@@ -206,13 +274,17 @@ func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) 
 				Power:     md.Router.Power(eng.Now()),
 				ElapsedMs: eng.Now(),
 				Completed: uint64(resp.Count()),
+				Events:    cfg.Observe.events(sink),
+				Snap:      cfg.Observe.snap(md.Router),
 			}, nil
 		}},
 		{Name: spec.Name + "/HC-SD", Run: func(context.Context, int64) (Run, error) {
 			eng := simkit.New()
 			rot := &stats.Sample{}
+			sink := cfg.Observe.sink()
 			hc, err := disk.New(eng, disk.BarracudaES(), disk.Options{
 				OnService: func(s, r, x float64) { rot.Add(r) },
+				Obs:       sinkOptions(sink, "hcsd"),
 			})
 			if err != nil {
 				return Run{}, err
@@ -225,6 +297,8 @@ func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) 
 				Power:     hc.Power(eng.Now()),
 				ElapsedMs: eng.Now(),
 				Completed: uint64(resp.Count()),
+				Events:    cfg.Observe.events(sink),
+				Snap:      cfg.Observe.snap(hc),
 			}, nil
 		}},
 	}
@@ -283,9 +357,11 @@ func Bottleneck(spec trace.WorkloadSpec, cfg Config) (*BottleneckResult, error) 
 			Name: spec.Name + "/" + sc.Label,
 			Run: func(context.Context, int64) (Run, error) {
 				eng := simkit.New()
+				sink := cfg.Observe.sink()
 				d, err := disk.New(eng, disk.BarracudaES(), disk.Options{
 					SeekScale: sc.SeekScale,
 					RotScale:  sc.RotScale,
+					Obs:       sinkOptions(sink, "hcsd/"+sc.Label),
 				})
 				if err != nil {
 					return Run{}, err
@@ -298,6 +374,8 @@ func Bottleneck(spec trace.WorkloadSpec, cfg Config) (*BottleneckResult, error) 
 					Power:     d.Power(eng.Now()),
 					ElapsedMs: eng.Now(),
 					Completed: uint64(resp.Count()),
+					Events:    cfg.Observe.events(sink),
+					Snap:      cfg.Observe.snap(d),
 				}, nil
 			},
 		}
@@ -323,11 +401,11 @@ func SARun(spec trace.WorkloadSpec, cfg Config, actuators int, rpm float64) (*Ru
 	if err != nil {
 		return nil, err
 	}
-	return saRunOnTrace(hcsdTr, actuators, rpm)
+	return saRunOnTrace(hcsdTr, actuators, rpm, cfg.Observe)
 }
 
 // saRunOnTrace builds the SA(n) drive and replays a prepared trace.
-func saRunOnTrace(tr trace.Trace, actuators int, rpm float64) (*Run, error) {
+func saRunOnTrace(tr trace.Trace, actuators int, rpm float64, ob Observe) (*Run, error) {
 	model := disk.BarracudaES()
 	label := fmt.Sprintf("HC-SD-SA(%d)", actuators)
 	if rpm > 0 && rpm != model.RPM {
@@ -336,9 +414,11 @@ func saRunOnTrace(tr trace.Trace, actuators int, rpm float64) (*Run, error) {
 	}
 	eng := simkit.New()
 	rot := &stats.Sample{}
+	sink := ob.sink()
 	d, err := core.New(eng, model, core.Config{
 		Actuators: actuators,
 		OnService: func(s, r, x float64) { rot.Add(r) },
+		Obs:       sinkOptions(sink, label),
 	})
 	if err != nil {
 		return nil, err
@@ -351,6 +431,8 @@ func saRunOnTrace(tr trace.Trace, actuators int, rpm float64) (*Run, error) {
 		Power:     d.Power(eng.Now()),
 		ElapsedMs: eng.Now(),
 		Completed: uint64(resp.Count()),
+		Events:    ob.events(sink),
+		Snap:      ob.snap(d),
 	}, nil
 }
 
@@ -386,7 +468,7 @@ func MultiActuator(spec trace.WorkloadSpec, cfg Config, maxActuators int) (*Mult
 		jobs[n-1] = fleet.Job[Run]{
 			Name: fmt.Sprintf("%s/SA(%d)", spec.Name, n),
 			Run: func(context.Context, int64) (Run, error) {
-				r, err := saRunOnTrace(hcsdTr, n, 0)
+				r, err := saRunOnTrace(hcsdTr, n, 0, cfg.Observe)
 				if err != nil {
 					return Run{}, err
 				}
@@ -440,7 +522,7 @@ func ReducedRPM(spec trace.WorkloadSpec, cfg Config) (*ReducedRPMResult, error) 
 			jobs = append(jobs, fleet.Job[Run]{
 				Name: fmt.Sprintf("%s/SA(%d)/%d", spec.Name, a, int(rpm)),
 				Run: func(context.Context, int64) (Run, error) {
-					r, err := saRunOnTrace(hcsdTr, a, rpm)
+					r, err := saRunOnTrace(hcsdTr, a, rpm, cfg.Observe)
 					if err != nil {
 						return Run{}, err
 					}

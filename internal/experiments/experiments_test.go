@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/simkit"
 	"repro/internal/trace"
@@ -342,7 +343,7 @@ func TestMDSystemOffsetsMonotone(t *testing.T) {
 	}
 	_ = engine
 	// Offsets come from a fresh MD system.
-	md, err := NewMDSystem(newEngine(), w)
+	md, err := NewMDSystem(newEngine(), w, obs.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

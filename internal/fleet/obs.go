@@ -1,0 +1,20 @@
+package fleet
+
+import "repro/internal/obs"
+
+// MergeSnapshots folds per-job snapshots into one fleet-wide roll-up,
+// in slice order. Run returns job results in submission order
+// regardless of Parallelism, so feeding its snapshots here yields a
+// deterministic aggregate: counters add, queue high-waters max, and
+// matching histograms add bucket-wise (see obs.Snapshot.Merge). An
+// empty slice yields the zero snapshot.
+func MergeSnapshots(snaps []obs.Snapshot) obs.Snapshot {
+	if len(snaps) == 0 {
+		return obs.Snapshot{}
+	}
+	out := snaps[0].Clone()
+	for _, s := range snaps[1:] {
+		out = out.Merge(s)
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func snapFor(i int) obs.Snapshot {
+	return obs.Snapshot{
+		Device:    "d0",
+		Kind:      "disk",
+		Submitted: uint64(10 * (i + 1)),
+		Completed: uint64(10 * (i + 1)),
+		Queue:     obs.QueueStats{Len: i, Max: 3 * i},
+		Counters:  map[string]uint64{"flushes": uint64(i)},
+		Histograms: map[string]obs.Histogram{
+			"seek_ms": {Edges: []float64{1, 2}, Counts: []uint64{1, uint64(i), 0}, Sum: float64(i), N: uint64(i) + 1},
+		},
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	if z := MergeSnapshots(nil); z.Submitted != 0 || z.Counters != nil {
+		t.Fatalf("empty merge not zero: %+v", z)
+	}
+	snaps := []obs.Snapshot{snapFor(0), snapFor(1), snapFor(2)}
+	m := MergeSnapshots(snaps)
+	if m.Submitted != 60 || m.Completed != 60 {
+		t.Fatalf("totals %d/%d", m.Submitted, m.Completed)
+	}
+	if m.Queue.Len != 3 || m.Queue.Max != 6 {
+		t.Fatalf("queue %+v", m.Queue)
+	}
+	if m.Counters["flushes"] != 3 {
+		t.Fatalf("counters %v", m.Counters)
+	}
+	if h := m.Histograms["seek_ms"]; h.N != 6 || h.Counts[1] != 3 {
+		t.Fatalf("histogram %+v", h)
+	}
+	// The fold must not mutate its inputs (Run results get reused).
+	if snaps[0].Submitted != 10 || snaps[0].Counters["flushes"] != 0 {
+		t.Fatalf("merge mutated snaps[0]: %+v", snaps[0])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/trace"
 )
@@ -192,6 +193,33 @@ func (a *Array) runPhase(plan Plan, phase int, lastDone float64, done device.Don
 	}
 }
 
+// Snapshot reports the array's request counters with every instrumented
+// member rolled up as a child, in member order.
+func (a *Array) Snapshot() obs.Snapshot {
+	s := obs.Snapshot{
+		Device:     a.layout.Name(),
+		Kind:       "raid",
+		Submitted:  a.submitted,
+		Completed:  a.completed,
+		Counters:   map[string]uint64{"reconstructed": a.reconstructed},
+		Gauges:     map[string]obs.GaugeValue{},
+		Histograms: map[string]obs.Histogram{},
+	}
+	failed := uint64(0)
+	for i, m := range a.members {
+		if a.failed[i] {
+			failed++
+		}
+		if in, ok := m.(device.Instrumented); ok {
+			s.Children = append(s.Children, in.Snapshot())
+		}
+	}
+	s.Counters["failed_members"] = failed
+	return s
+}
+
+var _ device.Instrumented = (*Array)(nil)
+
 // RouteByDisk is the MD system of the paper's limit study: requests carry
 // the member-disk number they were traced against, and the "array" simply
 // forwards each request to that disk. It implements device.Device.
@@ -234,6 +262,29 @@ func (rt *RouteByDisk) Power(elapsedMs float64) power.Breakdown {
 	}
 	return b
 }
+
+// Snapshot rolls up every instrumented member as a child, in member
+// order. The router adds no latency and keeps no counters of its own.
+func (rt *RouteByDisk) Snapshot() obs.Snapshot {
+	s := obs.Snapshot{
+		Device:     "md",
+		Kind:       "route-by-disk",
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]obs.GaugeValue{},
+		Histograms: map[string]obs.Histogram{},
+	}
+	for _, m := range rt.members {
+		if in, ok := m.(device.Instrumented); ok {
+			child := in.Snapshot()
+			s.Submitted += child.Submitted
+			s.Completed += child.Completed
+			s.Children = append(s.Children, child)
+		}
+	}
+	return s
+}
+
+var _ device.Instrumented = (*RouteByDisk)(nil)
 
 // Submit forwards the request to the disk it names.
 func (rt *RouteByDisk) Submit(r trace.Request, done device.Done) {

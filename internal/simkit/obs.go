@@ -1,0 +1,11 @@
+package simkit
+
+import "repro/internal/obs"
+
+// Emitter returns a span emitter whose events are stamped by this
+// engine's clock and labeled with the device name. A nil sink yields
+// the nil (disabled) emitter, so callers wire tracing unconditionally
+// and pay nothing when it is off.
+func (e *Engine) Emitter(sink obs.Sink, dev string) *obs.Emitter {
+	return obs.NewEmitter(e, sink, dev)
+}

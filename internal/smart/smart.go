@@ -17,7 +17,9 @@ package smart
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/simkit"
 )
 
@@ -160,6 +162,29 @@ func (m *Monitor) Reading(a Attribute) float64 {
 		return 0
 	}
 	return m.smoothed[a]
+}
+
+// Snapshot reports the monitor's smoothed attribute readings as gauges
+// (Max carries the trip threshold) plus a "tripped" counter, on the
+// uniform obs surface.
+func (m *Monitor) Snapshot() obs.Snapshot {
+	s := obs.Snapshot{
+		Device:     "smart",
+		Kind:       "smart-monitor",
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]obs.GaugeValue{},
+		Histograms: map[string]obs.Histogram{},
+	}
+	if m.tripped {
+		s.Counters["tripped"] = 1
+	} else {
+		s.Counters["tripped"] = 0
+	}
+	for _, a := range Attributes() {
+		key := strings.ToLower(strings.ReplaceAll(a.String(), "-", "_"))
+		s.Gauges[key] = obs.GaugeValue{Value: m.smoothed[a], Max: m.threshold(a)}
+	}
+	return s
 }
 
 // Sentry polls a set of monitors on the simulation clock and invokes

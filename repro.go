@@ -32,6 +32,8 @@ import (
 	"repro/internal/disk"
 	"repro/internal/drpm"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/raid"
 	"repro/internal/simkit"
@@ -224,6 +226,48 @@ var (
 	RunReducedRPM    = experiments.ReducedRPM    // Figures 6-7
 	RunRAIDStudy     = experiments.RAIDStudy     // Figure 8
 )
+
+// ---------------------------------------------------------------------
+// Observability (internal/obs).
+
+// Instrumented is the uniform statistics surface: any component that
+// reports a StatsSnapshot. All devices in this library implement it.
+type Instrumented = device.Instrumented
+
+// StatsSnapshot is the typed statistics snapshot every instrumented
+// component returns; composite devices nest members as children.
+type StatsSnapshot = obs.Snapshot
+
+// TraceEvent is one span of a request's lifecycle
+// (submit/queue/seek/rotate/transfer/complete, with actuator ids).
+type TraceEvent = obs.Event
+
+// TraceSink receives span events; wire one into a drive's options to
+// trace its requests (nil = tracing off at zero cost).
+type TraceSink = obs.Sink
+
+// ObsOptions is the observability hookup a device constructor accepts.
+type ObsOptions = obs.Options
+
+// Observe selects what experiment runs record (trace and/or metrics).
+type Observe = experiments.Observe
+
+// NewJSONLTraceSink streams span events as JSON lines.
+var NewJSONLTraceSink = obs.NewJSONLSink
+
+// MemoryTraceSink buffers span events in memory.
+type MemoryTraceSink = obs.MemorySink
+
+// TraceLifecycles reconstructs per-request time decompositions from a
+// span stream.
+var TraceLifecycles = obs.Lifecycles
+
+// MergeSnapshots folds per-job snapshots into one deterministic
+// roll-up, in submission order.
+var MergeSnapshots = fleet.MergeSnapshots
+
+// WriteSnapshotText renders a snapshot as an indented text tree.
+var WriteSnapshotText = obs.WriteText
 
 // ---------------------------------------------------------------------
 // Cost model (§9).
