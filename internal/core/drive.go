@@ -166,6 +166,15 @@ type ParallelDrive struct {
 	arms           []arm
 	activeChannels int
 
+	// Dispatch cost functions, built once at construction so the hot
+	// loop never allocates a closure. Both read costNow (and armCost
+	// additionally costArm), which dispatchOne / preSeekAssign refresh
+	// before each queue scan.
+	queueCost func(pending) float64 // best idle arm's positioning cost
+	armCost   func(pending) float64 // positioning cost for arm costArm
+	costNow   float64
+	costArm   int
+
 	// bgQueue holds background-class requests (SubmitBackground): work
 	// that is only dispatched when no foreground request is waiting.
 	bgQueue *sched.Queue[pending]
@@ -245,8 +254,8 @@ func New(eng *simkit.Engine, model disk.Model, cfg Config) (*ParallelDrive, erro
 		curve:     curve,
 		rot:       rot,
 		buf:       buf,
-		queue:     sched.NewQueue[pending](scfg),
-		bgQueue:   sched.NewQueue[pending](scfg),
+		queue:     sched.NewQueueSized[pending](scfg, 256),
+		bgQueue:   sched.NewQueueSized[pending](scfg, 256),
 		acct:      power.NewAccountant(pm),
 		pm:        pm,
 		arms:      make([]arm, cfg.Actuators),
@@ -274,6 +283,14 @@ func New(eng *simkit.Engine, model disk.Model, cfg Config) (*ParallelDrive, erro
 		} else {
 			d.arms[i].alpha = float64(i) / float64(cfg.Actuators)
 		}
+	}
+	d.queueCost = func(p pending) float64 {
+		_, c := d.bestArmFor(p.loc, d.costNow)
+		return c
+	}
+	d.armCost = func(p pending) float64 {
+		seekMs, rotMs := d.posCost(d.costArm, p.loc, d.costNow)
+		return seekMs + rotMs
 	}
 	return d, nil
 }
@@ -390,9 +407,9 @@ func (d *ParallelDrive) RepairArm(i int) error {
 // freeblock scheduling it is not constrained to finish within a
 // foreground request's rotational latency window.
 func (d *ParallelDrive) SubmitBackground(r trace.Request, done device.Done) {
-	if r.End() > d.geo.TotalSectors() {
+	if r.End() > d.Capacity() {
 		panic(fmt.Sprintf("core: %s: background request [%d,%d) beyond capacity %d",
-			d.model.Name, r.LBA, r.End(), d.geo.TotalSectors()))
+			d.model.Name, r.LBA, r.End(), d.Capacity()))
 	}
 	now := d.eng.Now()
 	d.submitted++
@@ -425,9 +442,9 @@ func (d *ParallelDrive) BackgroundPending() int { return d.bgQueue.Len() }
 // Submit presents a request at the current simulated time. Requests
 // beyond the drive's capacity panic (see disk.Drive.Submit).
 func (d *ParallelDrive) Submit(r trace.Request, done device.Done) {
-	if r.End() > d.geo.TotalSectors() {
+	if r.End() > d.Capacity() {
 		panic(fmt.Sprintf("core: %s: request [%d,%d) beyond capacity %d",
-			d.model.Name, r.LBA, r.End(), d.geo.TotalSectors()))
+			d.model.Name, r.LBA, r.End(), d.Capacity()))
 	}
 	now := d.eng.Now()
 	d.submitted++
@@ -534,6 +551,7 @@ func (d *ParallelDrive) trySchedule() {
 // dispatchOne starts one service if work and an arm are available.
 func (d *ParallelDrive) dispatchOne() bool {
 	now := d.eng.Now()
+	d.costNow = now
 
 	// Candidate 1: a pre-positioned arm holding an assignment.
 	bestAssigned := -1
@@ -560,10 +578,6 @@ func (d *ParallelDrive) dispatchOne() bool {
 	}
 
 	// Candidate 2: the best (request, idle arm) pair from the queue.
-	queueCost := func(p pending) float64 {
-		_, c := d.bestArmFor(p.loc, now)
-		return c
-	}
 	haveIdleArm := false
 	for i := range d.arms {
 		if !d.arms[i].failed && !d.arms[i].busy && d.arms[i].assigned == nil {
@@ -575,8 +589,8 @@ func (d *ParallelDrive) dispatchOne() bool {
 	var fromQueue *pending
 	var fromQueueCost float64
 	if haveIdleArm && d.queue.Len() > 0 {
-		if p, ok := d.queue.Peek(now, queueCost); ok {
-			c := queueCost(p)
+		if p, ok := d.queue.Peek(now, d.queueCost); ok {
+			c := d.queueCost(p)
 			fromQueue = &p
 			fromQueueCost = c
 		}
@@ -584,7 +598,7 @@ func (d *ParallelDrive) dispatchOne() bool {
 
 	// Background work runs only when no foreground work is dispatchable.
 	if fromQueue == nil && bestAssigned == -1 && haveIdleArm && d.bgQueue.Len() > 0 {
-		if p, ok := d.bgQueue.Pop(now, queueCost); ok {
+		if p, ok := d.bgQueue.Pop(now, d.queueCost); ok {
 			armIdx, _ := d.bestArmFor(p.loc, now)
 			if armIdx != -1 {
 				d.gBgDepth.Set(float64(d.bgQueue.Len()))
@@ -598,7 +612,7 @@ func (d *ParallelDrive) dispatchOne() bool {
 
 	switch {
 	case fromQueue != nil && (bestAssigned == -1 || fromQueueCost <= bestAssignedCost):
-		p, _ := d.queue.Pop(now, queueCost)
+		p, _ := d.queue.Pop(now, d.queueCost)
 		d.qDepth.Set(float64(d.queue.Len()))
 		armIdx, _ := d.bestArmFor(p.loc, now)
 		if armIdx == -1 {
@@ -738,6 +752,7 @@ func (d *ParallelDrive) returnIdleArms(servicedArm, cyl int) {
 // while the channel is busy (the relaxed multi-arm-motion design).
 func (d *ParallelDrive) preSeekAssign() {
 	now := d.eng.Now()
+	d.costNow = now
 	for i := range d.arms {
 		a := &d.arms[i]
 		if a.failed || a.busy || a.assigned != nil {
@@ -746,11 +761,8 @@ func (d *ParallelDrive) preSeekAssign() {
 		if d.queue.Len() == 0 {
 			return
 		}
-		cost := func(p pending) float64 {
-			seekMs, rotMs := d.posCost(i, p.loc, now)
-			return seekMs + rotMs
-		}
-		p, ok := d.queue.Pop(now, cost)
+		d.costArm = i
+		p, ok := d.queue.Pop(now, d.armCost)
 		if !ok {
 			return
 		}

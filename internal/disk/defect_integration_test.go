@@ -108,3 +108,24 @@ func TestRequestBeyondUserSpacePanics(t *testing.T) {
 	})
 	eng.Run()
 }
+
+// TestRequestInsideSparePoolPanics pins the Submit bound to the
+// addressable capacity, not the raw geometry: a request that lies
+// entirely within the spare pool [UserSectors, TotalSectors) is
+// physically on the platters, so a TotalSectors bound would accept it
+// silently — aliasing sectors the defect table owns.
+func TestRequestInsideSparePoolPanics(t *testing.T) {
+	eng, d, tab := defectDrive(t)
+	if tab.UserSectors()+8 > d.Geometry().TotalSectors() {
+		t.Fatalf("spare pool too small for the test request")
+	}
+	eng.At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("request entirely inside the spare pool did not panic")
+			}
+		}()
+		d.Submit(trace.Request{LBA: tab.UserSectors(), Sectors: 8, Read: true}, nil)
+	})
+	eng.Run()
+}

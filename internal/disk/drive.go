@@ -87,6 +87,12 @@ type Drive struct {
 	armCyl int
 	busy   bool
 
+	// Dispatch cost function, built once at construction: the policy
+	// never changes, so trySchedule only refreshes costNow instead of
+	// closing over `now` on every dispatch. Nil for FCFS.
+	costFn  func(pending) float64
+	costNow float64
+
 	submitted uint64
 	completed uint64
 	cacheHits uint64
@@ -148,8 +154,8 @@ func New(eng *simkit.Engine, model Model, opts Options) (*Drive, error) {
 		curve:     curve,
 		rot:       rot,
 		buf:       buf,
-		queue:     sched.NewQueue[pending](cfg),
-		flushQ:    sched.NewQueue[pending](cfg),
+		queue:     sched.NewQueueSized[pending](cfg, 256),
+		flushQ:    sched.NewQueueSized[pending](cfg, 256),
 		acct:      power.NewAccountant(pm),
 		pm:        pm,
 		opts:      opts,
@@ -166,6 +172,7 @@ func New(eng *simkit.Engine, model Model, opts Options) (*Drive, error) {
 		hRot:        reg.Histogram("rot_ms", obs.PhaseEdgesMs),
 		hXfer:       reg.Histogram("xfer_ms", obs.PhaseEdgesMs),
 	}
+	d.costFn = d.buildCostFn()
 	return d, nil
 }
 
@@ -237,12 +244,16 @@ func (d *Drive) Power(elapsedMs float64) power.Breakdown {
 func (d *Drive) PowerModel() *power.Model { return d.pm }
 
 // Submit presents a request at the current simulated time. Requests
-// beyond the drive's capacity panic: address validation belongs to the
-// layers above, and an out-of-range block here is a simulator bug.
+// beyond the drive's addressable capacity panic: address validation
+// belongs to the layers above, and an out-of-range block here is a
+// simulator bug. With a defect table configured the addressable space
+// is the user area only — the spare pool is the drive's own, and a
+// request reaching into it must fail loudly rather than silently
+// aliasing remapped sectors.
 func (d *Drive) Submit(r trace.Request, done device.Done) {
-	if r.End() > d.geo.TotalSectors() {
+	if r.End() > d.Capacity() {
 		panic(fmt.Sprintf("disk: %s: request [%d,%d) beyond capacity %d",
-			d.model.Name, r.LBA, r.End(), d.geo.TotalSectors()))
+			d.model.Name, r.LBA, r.End(), d.Capacity()))
 	}
 	now := d.eng.Now()
 	d.submitted++
@@ -361,13 +372,13 @@ func (d *Drive) trySchedule() {
 		return
 	}
 	now := d.eng.Now()
-	cost := d.dispatchCost(now)
-	p, ok := d.queue.Pop(now, cost)
+	d.costNow = now
+	p, ok := d.queue.Pop(now, d.costFn)
 	if ok {
 		d.qDepth.Set(float64(d.queue.Len()))
 	} else {
 		// Foreground queue empty: destage dirty writes in the background.
-		if p, ok = d.flushQ.Pop(now, cost); !ok {
+		if p, ok = d.flushQ.Pop(now, d.costFn); !ok {
 			return
 		}
 		d.gDirty.Set(float64(d.flushQ.Len()))
@@ -420,8 +431,10 @@ func (d *Drive) trySchedule() {
 	})
 }
 
-// dispatchCost builds the scheduler cost function for dispatch at `now`.
-func (d *Drive) dispatchCost(now float64) func(pending) float64 {
+// buildCostFn builds the scheduler cost function once, at construction.
+// Time-dependent policies read d.costNow, which trySchedule refreshes
+// before every dispatch, so the hot loop never allocates a closure.
+func (d *Drive) buildCostFn() func(pending) float64 {
 	switch d.queue.Config().Policy {
 	case sched.FCFS:
 		return nil
@@ -446,7 +459,7 @@ func (d *Drive) dispatchCost(now float64) func(pending) float64 {
 		}
 	default: // SPTF
 		return func(p pending) float64 {
-			seekMs, rotMs := d.positioning(p.loc, now)
+			seekMs, rotMs := d.positioning(p.loc, d.costNow)
 			return seekMs + rotMs
 		}
 	}

@@ -18,26 +18,25 @@ import (
 // assemblies (which this implementation found to be the load-bearing
 // mechanism behind the rotational-latency reduction).
 
-// prepHCSDTrace synthesizes a workload and remaps it onto the HC-SD.
-func prepHCSDTrace(spec trace.WorkloadSpec, cfg Config) (trace.Trace, error) {
+// prepHCSDStream validates the config and synthesizes the workload's
+// HC-SD request stream. Each run of an ablation calls it afresh: the
+// same (spec, cfg) always yields the identical stream, so every case
+// replays the same requests without any case holding a full trace.
+func prepHCSDStream(spec trace.WorkloadSpec, cfg Config) (trace.Stream, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return HCSDTrace(spec, tr)
+	return hcsdStream(spec, cfg)
 }
 
-// runHCSD replays a prepared trace on an HC-SD built with opts.
-func runHCSD(label string, tr trace.Trace, model disk.Model, opts disk.Options) (*Run, error) {
+// runHCSD replays a prepared stream on an HC-SD built with opts.
+func runHCSD(label string, s trace.Stream, model disk.Model, opts disk.Options) (*Run, error) {
 	eng := simkit.New()
 	d, err := disk.New(eng, model, opts)
 	if err != nil {
 		return nil, err
 	}
-	resp := Replay(eng, d, tr)
+	resp := ReplayStream(eng, d, s)
 	return &Run{
 		Label:     label,
 		Resp:      resp,
@@ -51,15 +50,15 @@ func runHCSD(label string, tr trace.Trace, model disk.Model, opts disk.Options) 
 // SchedulerAblation runs the HC-SD under FCFS, SSTF, C-LOOK and SPTF.
 // The paper uses SPTF (§7.2); this quantifies how much that choice buys.
 func SchedulerAblation(spec trace.WorkloadSpec, cfg Config) ([]Run, error) {
-	tr, err := prepHCSDTrace(spec, cfg)
-	if err != nil {
-		return nil, err
-	}
 	var out []Run
 	for _, p := range []sched.Policy{sched.FCFS, sched.SSTF, sched.CLOOK, sched.SPTF} {
+		s, err := prepHCSDStream(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
 		scfg := disk.DefaultSchedConfig()
 		scfg.Policy = p
-		r, err := runHCSD(p.String(), tr, disk.BarracudaES(), disk.Options{Sched: &scfg})
+		r, err := runHCSD(p.String(), s, disk.BarracudaES(), disk.Options{Sched: &scfg})
 		if err != nil {
 			return nil, err
 		}
@@ -72,15 +71,15 @@ func SchedulerAblation(spec trace.WorkloadSpec, cfg Config) ([]Run, error) {
 // paper's 64 MB what-if (§7.1 found the larger cache changes little for
 // the random-I/O workloads).
 func CacheAblation(spec trace.WorkloadSpec, cfg Config) ([]Run, error) {
-	tr, err := prepHCSDTrace(spec, cfg)
-	if err != nil {
-		return nil, err
-	}
 	var out []Run
 	for _, mb := range []int64{8, 64} {
+		s, err := prepHCSDStream(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
 		model := disk.BarracudaES()
 		model.CacheBytes = mb << 20
-		r, err := runHCSD(fmt.Sprintf("%dMB cache", mb), tr, model, disk.Options{})
+		r, err := runHCSD(fmt.Sprintf("%dMB cache", mb), s, model, disk.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -93,10 +92,6 @@ func CacheAblation(spec trace.WorkloadSpec, cfg Config) ([]Run, error) {
 // the two relaxed designs of the technical report: multiple arms in
 // motion, and multiple concurrent data channels.
 func RelaxedDesignAblation(spec trace.WorkloadSpec, cfg Config, actuators int) ([]Run, error) {
-	tr, err := prepHCSDTrace(spec, cfg)
-	if err != nil {
-		return nil, err
-	}
 	cases := []struct {
 		label string
 		ccfg  core.Config
@@ -107,7 +102,11 @@ func RelaxedDesignAblation(spec trace.WorkloadSpec, cfg Config, actuators int) (
 	}
 	var out []Run
 	for _, c := range cases {
-		r, err := runSA(c.label, tr, c.ccfg)
+		s, err := prepHCSDStream(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runSA(c.label, s, c.ccfg)
 		if err != nil {
 			return nil, err
 		}
@@ -123,16 +122,20 @@ func RelaxedDesignAblation(spec trace.WorkloadSpec, cfg Config, actuators int) (
 // almost nothing — the spread mounting is what shortens rotational
 // latency (the paper's Figure 1 draws the assemblies diagonally).
 func PlacementAblation(spec trace.WorkloadSpec, cfg Config, actuators int) (spread, colocated Run, err error) {
-	tr, err := prepHCSDTrace(spec, cfg)
+	ds, err := prepHCSDStream(spec, cfg)
 	if err != nil {
 		return Run{}, Run{}, err
 	}
-	s, err := runSA(fmt.Sprintf("SA(%d) diagonal", actuators), tr, core.Config{Actuators: actuators})
+	s, err := runSA(fmt.Sprintf("SA(%d) diagonal", actuators), ds, core.Config{Actuators: actuators})
+	if err != nil {
+		return Run{}, Run{}, err
+	}
+	cs, err := prepHCSDStream(spec, cfg)
 	if err != nil {
 		return Run{}, Run{}, err
 	}
 	zero := make([]float64, actuators)
-	c, err := runSA(fmt.Sprintf("SA(%d) co-located", actuators), tr, core.Config{
+	c, err := runSA(fmt.Sprintf("SA(%d) co-located", actuators), cs, core.Config{
 		Actuators:      actuators,
 		AngularOffsets: zero,
 	})
@@ -142,8 +145,8 @@ func PlacementAblation(spec trace.WorkloadSpec, cfg Config, actuators int) (spre
 	return *s, *c, nil
 }
 
-// runSA replays a prepared trace on a parallel drive built with ccfg.
-func runSA(label string, tr trace.Trace, ccfg core.Config) (*Run, error) {
+// runSA replays a prepared stream on a parallel drive built with ccfg.
+func runSA(label string, in trace.Stream, ccfg core.Config) (*Run, error) {
 	eng := simkit.New()
 	rot := &stats.Sample{}
 	prev := ccfg.OnService
@@ -157,7 +160,7 @@ func runSA(label string, tr trace.Trace, ccfg core.Config) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp := Replay(eng, d, tr)
+	resp := ReplayStream(eng, d, in)
 	return &Run{
 		Label:     label,
 		Resp:      resp,

@@ -27,19 +27,14 @@ func AltPower(spec trace.WorkloadSpec, cfg Config) (*AltPowerResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	hcsdTr, err := HCSDTrace(spec, tr)
-	if err != nil {
-		return nil, err
-	}
-
 	out := &AltPowerResult{Workload: spec.Name}
 
 	// Baseline: the plain HC-SD.
-	base, err := runHCSD("HC-SD", hcsdTr, disk.BarracudaES(), disk.Options{})
+	bs, err := hcsdStream(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	base, err := runHCSD("HC-SD", bs, disk.BarracudaES(), disk.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +48,11 @@ func AltPower(spec trace.WorkloadSpec, cfg Config) (*AltPowerResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp := Replay(eng, dd, hcsdTr)
+	ds, err := hcsdStream(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	resp := ReplayStream(eng, dd, ds)
 	out.DRPM = Run{
 		Label:     "DRPM",
 		Resp:      resp,
@@ -64,7 +63,11 @@ func AltPower(spec trace.WorkloadSpec, cfg Config) (*AltPowerResult, error) {
 	}
 
 	// The paper's answer: SA(4) at a permanently reduced RPM.
-	sa, err := saRunOnTrace(hcsdTr, 4, 5200, cfg.Observe)
+	ss, err := hcsdStream(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sa, err := saRunOnStream(ss, 4, 5200, cfg.Observe)
 	if err != nil {
 		return nil, err
 	}

@@ -135,13 +135,35 @@ func (r *Run) ResponseCDF() []float64 { return r.Resp.ResponseCDF() }
 // Replay submits every request of the trace at its arrival time and runs
 // the simulation to completion, returning the response-time sample.
 func Replay(eng *simkit.Engine, dev device.Device, tr trace.Trace) *stats.Sample {
+	return ReplayStream(eng, dev, tr.Stream())
+}
+
+// ReplayStream replays a request stream: arrivals are scheduled one at a
+// time — each firing arrival schedules the next — so the engine's event
+// queue holds one pending arrival instead of the whole trace. At paper
+// scale (4-6M requests per workload) this is what keeps a parallel
+// fan-out's memory flat: jobs stream straight from a trace.Generator and
+// never materialize multi-million-entry traces or event queues.
+func ReplayStream(eng *simkit.Engine, dev device.Device, s trace.Stream) *stats.Sample {
 	resp := &stats.Sample{}
-	for _, r := range tr {
-		r := r
-		eng.At(r.ArrivalMs, func() {
-			dev.Submit(r, func(at float64) { resp.Add(at - r.ArrivalMs) })
-		})
+	cur, ok := s.Next()
+	if !ok {
+		eng.Run()
+		return resp
 	}
+	var fire simkit.Event
+	fire = func() {
+		r := cur
+		// Chain the next arrival before submitting, so same-instant
+		// arrivals keep their generation order ahead of service events.
+		if nxt, more := s.Next(); more {
+			cur = nxt
+			eng.At(nxt.ArrivalMs, fire)
+		}
+		arrival := r.ArrivalMs
+		dev.Submit(r, func(at float64) { resp.Add(at - arrival) })
+	}
+	eng.At(cur.ArrivalMs, fire)
 	eng.Run()
 	return resp
 }
@@ -209,9 +231,10 @@ func (m *MDSystem) Offsets() []int64 {
 	return offsets
 }
 
-// HCSDTrace remaps a workload trace from the MD address space onto the
-// single high-capacity drive.
-func HCSDTrace(spec trace.WorkloadSpec, tr trace.Trace) (trace.Trace, error) {
+// HCSDOffsets computes each MD member's starting address in the HC-SD
+// layout: the paper's migration sequentially populates the
+// high-capacity drive with each MD disk's data in disk order.
+func HCSDOffsets(spec trace.WorkloadSpec) ([]int64, error) {
 	model, err := MDDriveModel(spec)
 	if err != nil {
 		return nil, err
@@ -227,11 +250,33 @@ func HCSDTrace(spec trace.WorkloadSpec, tr trace.Trace) (trace.Trace, error) {
 		offsets[i] = cum
 		cum += probe.Capacity()
 	}
-	remapped, err := tr.Remap(offsets)
+	return offsets, nil
+}
+
+// HCSDTrace remaps a workload trace from the MD address space onto the
+// single high-capacity drive.
+func HCSDTrace(spec trace.WorkloadSpec, tr trace.Trace) (trace.Trace, error) {
+	offsets, err := HCSDOffsets(spec)
 	if err != nil {
 		return nil, err
 	}
-	return remapped, nil
+	return tr.Remap(offsets)
+}
+
+// hcsdStream builds a per-job streaming synthesis of the workload
+// remapped onto the HC-SD: the request sequence is identical to
+// HCSDTrace(spec, trace.Generate(spec, seed)) without materializing
+// either trace. Each parallel job calls this to own a private stream.
+func hcsdStream(spec trace.WorkloadSpec, cfg Config) (trace.Stream, error) {
+	offsets, err := HCSDOffsets(spec)
+	if err != nil {
+		return nil, err
+	}
+	g, err := trace.NewGenerator(spec.WithRequests(cfg.Requests), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return trace.RemapStream(g, offsets), nil
 }
 
 // LimitStudyResult is one workload's Figure 2 + Figure 3 measurement.
@@ -243,18 +288,14 @@ type LimitStudyResult struct {
 
 // LimitStudy runs the paper's §7.1 migration study for one workload:
 // the tuned MD array versus the single high-capacity drive. The two
-// systems replay the same trace on independent engines and fan out
-// through the fleet.
+// systems replay the same deterministic request stream on independent
+// engines and fan out through the fleet; each job synthesizes its
+// private stream on the fly, so no job ever holds a full trace.
 func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	hcsdTr, err := HCSDTrace(spec, tr)
-	if err != nil {
+	if err := spec.WithRequests(cfg.Requests).Validate(); err != nil {
 		return nil, err
 	}
 
@@ -266,7 +307,11 @@ func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) 
 			if err != nil {
 				return Run{}, err
 			}
-			resp := Replay(eng, md.Router, tr)
+			g, err := trace.NewGenerator(spec.WithRequests(cfg.Requests), cfg.Seed)
+			if err != nil {
+				return Run{}, err
+			}
+			resp := ReplayStream(eng, md.Router, g)
 			return Run{
 				Label:     "MD",
 				Resp:      resp,
@@ -289,7 +334,11 @@ func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) 
 			if err != nil {
 				return Run{}, err
 			}
-			resp := Replay(eng, hc, hcsdTr)
+			s, err := hcsdStream(spec, cfg)
+			if err != nil {
+				return Run{}, err
+			}
+			resp := ReplayStream(eng, hc, s)
 			return Run{
 				Label:     "HC-SD",
 				Resp:      resp,
@@ -341,12 +390,7 @@ func Bottleneck(spec trace.WorkloadSpec, cfg Config) (*BottleneckResult, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	hcsdTr, err := HCSDTrace(spec, tr)
-	if err != nil {
+	if err := spec.WithRequests(cfg.Requests).Validate(); err != nil {
 		return nil, err
 	}
 	cases := Figure4Cases()
@@ -366,7 +410,11 @@ func Bottleneck(spec trace.WorkloadSpec, cfg Config) (*BottleneckResult, error) 
 				if err != nil {
 					return Run{}, err
 				}
-				resp := Replay(eng, d, hcsdTr)
+				s, err := hcsdStream(spec, cfg)
+				if err != nil {
+					return Run{}, err
+				}
+				resp := ReplayStream(eng, d, s)
 				return Run{
 					Label:     sc.Label,
 					Resp:      resp,
@@ -388,24 +436,20 @@ func Bottleneck(spec trace.WorkloadSpec, cfg Config) (*BottleneckResult, error) 
 }
 
 // SARun runs one HC-SD-SA(n) design point (optionally at a reduced RPM)
-// on a workload's HC-SD trace.
+// on a workload's HC-SD request stream.
 func SARun(spec trace.WorkloadSpec, cfg Config, actuators int, rpm float64) (*Run, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
+	s, err := hcsdStream(spec, cfg)
 	if err != nil {
 		return nil, err
 	}
-	hcsdTr, err := HCSDTrace(spec, tr)
-	if err != nil {
-		return nil, err
-	}
-	return saRunOnTrace(hcsdTr, actuators, rpm, cfg.Observe)
+	return saRunOnStream(s, actuators, rpm, cfg.Observe)
 }
 
-// saRunOnTrace builds the SA(n) drive and replays a prepared trace.
-func saRunOnTrace(tr trace.Trace, actuators int, rpm float64, ob Observe) (*Run, error) {
+// saRunOnStream builds the SA(n) drive and replays a prepared stream.
+func saRunOnStream(s trace.Stream, actuators int, rpm float64, ob Observe) (*Run, error) {
 	model := disk.BarracudaES()
 	label := fmt.Sprintf("HC-SD-SA(%d)", actuators)
 	if rpm > 0 && rpm != model.RPM {
@@ -423,7 +467,7 @@ func saRunOnTrace(tr trace.Trace, actuators int, rpm float64, ob Observe) (*Run,
 	if err != nil {
 		return nil, err
 	}
-	resp := Replay(eng, d, tr)
+	resp := ReplayStream(eng, d, s)
 	return &Run{
 		Label:     label,
 		Resp:      resp,
@@ -454,21 +498,17 @@ func MultiActuator(spec trace.WorkloadSpec, cfg Config, maxActuators int) (*Mult
 		return nil, err
 	}
 	out := &MultiActuatorResult{Workload: spec.Name, MD: ls.MD}
-	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	hcsdTr, err := HCSDTrace(spec, tr)
-	if err != nil {
-		return nil, err
-	}
 	jobs := make([]fleet.Job[Run], maxActuators)
 	for n := 1; n <= maxActuators; n++ {
 		n := n
 		jobs[n-1] = fleet.Job[Run]{
 			Name: fmt.Sprintf("%s/SA(%d)", spec.Name, n),
 			Run: func(context.Context, int64) (Run, error) {
-				r, err := saRunOnTrace(hcsdTr, n, 0, cfg.Observe)
+				s, err := hcsdStream(spec, cfg)
+				if err != nil {
+					return Run{}, err
+				}
+				r, err := saRunOnStream(s, n, 0, cfg.Observe)
 				if err != nil {
 					return Run{}, err
 				}
@@ -506,14 +546,6 @@ func ReducedRPM(spec trace.WorkloadSpec, cfg Config) (*ReducedRPMResult, error) 
 		return nil, err
 	}
 	out := &ReducedRPMResult{Workload: spec.Name, MD: ls.MD, HCSD: ls.HCSD}
-	tr, err := trace.Generate(spec.WithRequests(cfg.Requests), cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	hcsdTr, err := HCSDTrace(spec, tr)
-	if err != nil {
-		return nil, err
-	}
 	arms, rpms := ReducedRPMPoints()
 	var jobs []fleet.Job[Run]
 	for _, rpm := range rpms {
@@ -522,7 +554,11 @@ func ReducedRPM(spec trace.WorkloadSpec, cfg Config) (*ReducedRPMResult, error) 
 			jobs = append(jobs, fleet.Job[Run]{
 				Name: fmt.Sprintf("%s/SA(%d)/%d", spec.Name, a, int(rpm)),
 				Run: func(context.Context, int64) (Run, error) {
-					r, err := saRunOnTrace(hcsdTr, a, rpm, cfg.Observe)
+					s, err := hcsdStream(spec, cfg)
+					if err != nil {
+						return Run{}, err
+					}
+					r, err := saRunOnStream(s, a, rpm, cfg.Observe)
 					if err != nil {
 						return Run{}, err
 					}

@@ -12,7 +12,6 @@ import (
 	"repro/internal/power"
 	"repro/internal/raid"
 	"repro/internal/simkit"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -138,25 +137,22 @@ func RunRAIDStudy(cfg Config, opts RAIDStudyOpts) (*RAIDStudyResult, error) {
 
 	out := &RAIDStudyResult{DiskCounts: diskCounts, Families: families}
 
-	// One deterministic trace per intensity, shared read-only by every
-	// array simulation of that intensity; the full (intensity, family,
-	// array size) cross product then fans out through the fleet with
-	// points collected in the canonical nested order.
-	traces := make(map[workload.Intensity]trace.Trace, len(intensities))
+	// Every array simulation of an intensity replays the same
+	// deterministic stream, synthesized privately per job as the replay
+	// pulls arrivals; the full (intensity, family, array size) cross
+	// product fans out through the fleet with points collected in the
+	// canonical nested order. Validate each spec up front so a bad
+	// config fails before the fan-out.
 	for _, in := range intensities {
-		spec := workload.Paper(in, dataset).WithRequests(cfg.Requests)
-		tr, err := workload.Generate(spec, cfg.Seed)
-		if err != nil {
+		if err := workload.Paper(in, dataset).WithRequests(cfg.Requests).Validate(); err != nil {
 			return nil, err
 		}
-		traces[in] = tr
 	}
 	var jobs []fleet.Job[RAIDPoint]
 	for _, in := range intensities {
 		for _, fam := range families {
 			for _, count := range diskCounts {
 				in, fam, count := in, fam, count
-				tr := traces[in]
 				jobs = append(jobs, fleet.Job[RAIDPoint]{
 					Name: fmt.Sprintf("raid/%s/SA(%d)x%d", in, fam, count),
 					Run: func(context.Context, int64) (RAIDPoint, error) {
@@ -181,7 +177,11 @@ func RunRAIDStudy(cfg Config, opts RAIDStudyOpts) (*RAIDStudyResult, error) {
 						if err != nil {
 							return RAIDPoint{}, err
 						}
-						resp := Replay(eng, arr, tr)
+						g, err := workload.NewGenerator(workload.Paper(in, dataset).WithRequests(cfg.Requests), cfg.Seed)
+						if err != nil {
+							return RAIDPoint{}, err
+						}
+						resp := ReplayStream(eng, arr, g)
 						return RAIDPoint{
 							Intensity: in,
 							Actuators: fam,

@@ -79,11 +79,24 @@ type entry[T any] struct {
 	sequence uint64
 }
 
-// Queue is a dispatch queue of pending requests.
+// Queue is a dispatch queue of pending requests, stored as an
+// order-preserving ring buffer: logical position i lives at
+// buf[(head+i) & (len(buf)-1)], and len(buf) is always a power of two.
+//
+// The ring makes the two common pops O(1) — FCFS and age-cap-forced
+// dispatches both take the front entry — and keeps cost-scan pops cheap
+// on deeply backed-up queues: a windowed scan only ever picks an entry
+// within Window of the front, so removal shifts at most Window entries
+// (the shorter side of the ring) instead of memmoving the whole tail.
+// Arrival order, and therefore every tie-break, is exactly that of the
+// previous slice implementation (sched_test.go model-checks this
+// op-for-op against a reference slice queue).
 type Queue[T any] struct {
-	cfg     Config
-	entries []entry[T]
-	seq     uint64
+	cfg  Config
+	buf  []entry[T] // circular; nil until the first Push
+	head int        // physical index of logical position 0
+	n    int        // live entries
+	seq  uint64
 
 	forced uint64 // dispatches forced by the age cap
 }
@@ -96,30 +109,66 @@ func NewQueue[T any](cfg Config) *Queue[T] {
 	return &Queue[T]{cfg: cfg}
 }
 
+// NewQueueSized builds a queue with room for at least capacity entries
+// preallocated, so steady-state pushes never grow the ring.
+func NewQueueSized[T any](cfg Config, capacity int) *Queue[T] {
+	q := NewQueue[T](cfg)
+	if capacity > 0 {
+		q.grow(capacity)
+	}
+	return q
+}
+
 // Config returns the queue configuration.
 func (q *Queue[T]) Config() Config { return q.cfg }
 
 // Len reports the number of queued requests.
-func (q *Queue[T]) Len() int { return len(q.entries) }
+func (q *Queue[T]) Len() int { return q.n }
 
 // ForcedDispatches reports how many dispatches the age cap forced.
 func (q *Queue[T]) ForcedDispatches() uint64 { return q.forced }
 
+// slot returns the entry at logical position i.
+func (q *Queue[T]) slot(i int) *entry[T] {
+	return &q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
+// grow reallocates the ring to a power-of-two capacity holding at least
+// want entries, linearizing the live entries at the front.
+func (q *Queue[T]) grow(want int) {
+	capacity := 16
+	for capacity < want {
+		capacity *= 2
+	}
+	buf := make([]entry[T], capacity)
+	for i := 0; i < q.n; i++ {
+		buf[i] = *q.slot(i)
+	}
+	q.buf = buf
+	q.head = 0
+}
+
 // Push enqueues item, recording its arrival time for age accounting.
 func (q *Queue[T]) Push(item T, now float64) {
+	if q.n == len(q.buf) {
+		q.grow(q.n + 1)
+	}
 	q.seq++
-	q.entries = append(q.entries, entry[T]{item: item, arrival: now, sequence: q.seq})
+	*q.slot(q.n) = entry[T]{item: item, arrival: now, sequence: q.seq}
+	q.n++
 }
 
 // Peek returns the item a Pop would dispatch, without removing it.
-// ok is false when the queue is empty.
+// Peeking is side-effect-free: in particular it never counts toward
+// ForcedDispatches, which only a Pop can increment. ok is false when the
+// queue is empty.
 func (q *Queue[T]) Peek(now float64, cost func(T) float64) (item T, ok bool) {
-	i := q.pickIndex(now, cost)
+	i, _ := q.pickIndex(now, cost)
 	if i < 0 {
 		var zero T
 		return zero, false
 	}
-	return q.entries[i].item, true
+	return q.slot(i).item, true
 }
 
 // Pop removes and returns the next request to dispatch. For FCFS the
@@ -127,59 +176,93 @@ func (q *Queue[T]) Peek(now float64, cost func(T) float64) (item T, ok bool) {
 // request to its dispatch cost at `now`. Ties break by arrival order.
 // ok is false when the queue is empty.
 func (q *Queue[T]) Pop(now float64, cost func(T) float64) (item T, ok bool) {
-	i := q.pickIndex(now, cost)
+	i, forced := q.pickIndex(now, cost)
 	if i < 0 {
 		var zero T
 		return zero, false
 	}
-	item = q.entries[i].item
-	q.entries = append(q.entries[:i], q.entries[i+1:]...)
+	if forced {
+		q.forced++
+	}
+	item = q.slot(i).item
+	q.remove(i)
 	return item, true
 }
 
-// pickIndex returns the index of the entry to dispatch, or -1 if empty.
-func (q *Queue[T]) pickIndex(now float64, cost func(T) float64) int {
-	if len(q.entries) == 0 {
-		return -1
+// remove deletes the entry at logical position i, preserving the order
+// of the rest by shifting whichever side of the ring is shorter. The
+// vacated physical slot is zeroed so popped items (and any closures they
+// hold) are released to the GC.
+func (q *Queue[T]) remove(i int) {
+	var zero entry[T]
+	switch {
+	case i == 0:
+		*q.slot(0) = zero
+		q.head = (q.head + 1) & (len(q.buf) - 1)
+	case i == q.n-1:
+		*q.slot(i) = zero
+	case i < q.n-1-i:
+		// Shift the entries in front of i back by one, then drop the front.
+		for j := i; j > 0; j-- {
+			*q.slot(j) = *q.slot(j - 1)
+		}
+		*q.slot(0) = zero
+		q.head = (q.head + 1) & (len(q.buf) - 1)
+	default:
+		// Shift the entries behind i forward by one.
+		for j := i; j < q.n-1; j++ {
+			*q.slot(j) = *q.slot(j + 1)
+		}
+		*q.slot(q.n - 1) = zero
+	}
+	q.n--
+}
+
+// pickIndex returns the logical index of the entry a dispatch would
+// take (-1 if empty) and whether the age cap forced the choice. It is
+// side-effect-free so Peek and Pop share it; only Pop commits the
+// forced-dispatch count.
+func (q *Queue[T]) pickIndex(now float64, cost func(T) float64) (index int, forced bool) {
+	if q.n == 0 {
+		return -1, false
 	}
 	if q.cfg.Policy == FCFS {
-		return 0
+		return 0, false
 	}
 	// Anti-starvation: the front entry is always the oldest.
-	if q.cfg.MaxAgeMs > 0 && now-q.entries[0].arrival >= q.cfg.MaxAgeMs {
-		q.forced++
-		return 0
+	if q.cfg.MaxAgeMs > 0 && now-q.slot(0).arrival >= q.cfg.MaxAgeMs {
+		return 0, true
 	}
 	if cost == nil {
 		panic("sched: cost function required for " + q.cfg.Policy.String())
 	}
-	limit := len(q.entries)
+	limit := q.n
 	if q.cfg.Window > 0 && limit > q.cfg.Window {
 		limit = q.cfg.Window
 	}
 	best := 0
-	bestCost := cost(q.entries[0].item)
+	bestCost := cost(q.slot(0).item)
 	for i := 1; i < limit; i++ {
-		if c := cost(q.entries[i].item); c < bestCost {
+		if c := cost(q.slot(i).item); c < bestCost {
 			best, bestCost = i, c
 		}
 	}
-	return best
+	return best, false
 }
 
 // Items invokes fn for every queued item in arrival order. It exists for
 // statistics and tests; fn must not mutate the queue.
 func (q *Queue[T]) Items(fn func(T)) {
-	for _, e := range q.entries {
-		fn(e.item)
+	for i := 0; i < q.n; i++ {
+		fn(q.slot(i).item)
 	}
 }
 
 // OldestArrival reports the arrival time of the oldest queued request.
 // ok is false when the queue is empty.
 func (q *Queue[T]) OldestArrival() (at float64, ok bool) {
-	if len(q.entries) == 0 {
+	if q.n == 0 {
 		return 0, false
 	}
-	return q.entries[0].arrival, true
+	return q.slot(0).arrival, true
 }

@@ -1,0 +1,61 @@
+package simkit
+
+import "testing"
+
+// BenchmarkEngine measures the engine's per-event cost in steady state: a
+// self-rescheduling workload holding ~64 pending events, so every
+// iteration is one push and one pop at a realistic queue depth. The
+// allocs/op figure is the one the CI perf gate tracks: the event queue
+// must not allocate per event once its backing array is warm.
+func BenchmarkEngine(b *testing.B) {
+	b.ReportAllocs()
+	eng := New()
+	const depth = 64
+	lcg := uint64(0x9e3779b97f4a7c15)
+	delay := func() float64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return 0.001 + float64(lcg>>40)*1e-5
+	}
+	remaining := b.N
+	var fn Event
+	fn = func() {
+		if remaining > 0 {
+			remaining--
+			eng.After(delay(), fn)
+		}
+	}
+	for i := 0; i < depth && remaining > 0; i++ {
+		remaining--
+		eng.After(delay(), fn)
+	}
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkEngineDeep is the same workload at a deeply backed-up queue
+// (4096 pending events), the regime a saturated simulation puts the
+// engine in. Sift depth, not allocation, dominates here.
+func BenchmarkEngineDeep(b *testing.B) {
+	b.ReportAllocs()
+	eng := New()
+	const depth = 4096
+	lcg := uint64(0x9e3779b97f4a7c15)
+	delay := func() float64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return 0.001 + float64(lcg>>40)*1e-5
+	}
+	remaining := b.N
+	var fn Event
+	fn = func() {
+		if remaining > 0 {
+			remaining--
+			eng.After(delay(), fn)
+		}
+	}
+	for i := 0; i < depth && remaining > 0; i++ {
+		remaining--
+		eng.After(delay(), fn)
+	}
+	b.ResetTimer()
+	eng.Run()
+}

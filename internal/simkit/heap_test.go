@@ -1,0 +1,123 @@
+package simkit
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refItem / refHeap reimplement the engine's original container/heap
+// binary-heap event queue, as the determinism reference: the 4-ary heap
+// must fire any schedule in exactly the order the old engine did.
+type refItem struct {
+	at  float64
+	seq uint64
+	id  int
+}
+
+type refHeap []refItem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)      { *h = append(*h, x.(refItem)) }
+func (h *refHeap) Pop() any        { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h *refHeap) push(it refItem) { heap.Push(h, it) }
+func (h *refHeap) popMin() refItem { return heap.Pop(h).(refItem) }
+func (h *refHeap) empty() bool     { return h.Len() == 0 }
+
+// TestFiringOrderMatchesBinaryHeap drives the engine and the reference
+// binary heap with the same randomized schedule — including nested
+// scheduling from inside firing events and deliberate timestamp ties —
+// and requires the identical firing order.
+func TestFiringOrderMatchesBinaryHeap(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 1)))
+
+		eng := New()
+		ref := &refHeap{}
+		var refSeq uint64
+		var engOrder, refOrder []int
+
+		// Timestamps draw from a small discrete grid so ties are common.
+		stamp := func(base float64) float64 { return base + float64(rng.Intn(40))*0.25 }
+
+		id := 0
+		var spawnEng func(depth int) Event
+		spawnEng = func(depth int) Event {
+			myID := id
+			return func() {
+				engOrder = append(engOrder, myID)
+				if depth < 3 && rng.Intn(3) == 0 {
+					id++
+					eng.At(stamp(eng.Now()), spawnEng(depth+1))
+				}
+			}
+		}
+		// The reference replays the same structural decisions from its own
+		// identically seeded RNG, so both sides see the same schedule.
+		refRng := rand.New(rand.NewSource(int64(trial + 1)))
+		refStamp := func(base float64) float64 { return base + float64(refRng.Intn(40))*0.25 }
+		refID := 0
+		var refDepth = map[int]int{}
+
+		n := 50 + rng.Intn(100)
+		refN := 50 + refRng.Intn(100)
+		if n != refN {
+			t.Fatalf("rng desync: %d vs %d", n, refN)
+		}
+		for i := 0; i < n; i++ {
+			id++
+			eng.At(stamp(0), spawnEng(0))
+			refSeq++
+			refID++
+			refDepth[refID] = 0
+			ref.push(refItem{at: refStamp(0), seq: refSeq, id: refID})
+		}
+
+		// Drain the reference, replaying the nested-scheduling decisions.
+		now := 0.0
+		for !ref.empty() {
+			it := ref.popMin()
+			now = it.at
+			refOrder = append(refOrder, it.id)
+			if refDepth[it.id] < 3 && refRng.Intn(3) == 0 {
+				refSeq++
+				refID++
+				refDepth[refID] = refDepth[it.id] + 1
+				ref.push(refItem{at: refStamp(now), seq: refSeq, id: refID})
+			}
+		}
+		eng.Run()
+
+		if len(engOrder) != len(refOrder) {
+			t.Fatalf("trial %d: fired %d events, reference fired %d", trial, len(engOrder), len(refOrder))
+		}
+		for i := range engOrder {
+			if engOrder[i] != refOrder[i] {
+				t.Fatalf("trial %d: firing order diverges at %d: engine %d, reference %d",
+					trial, i, engOrder[i], refOrder[i])
+			}
+		}
+	}
+}
+
+// TestStepReleasesClosures ensures a drained queue does not pin fired
+// closures: the backing array slot is zeroed on pop.
+func TestStepReleasesClosures(t *testing.T) {
+	e := New()
+	for i := 0; i < 8; i++ {
+		e.At(float64(i), func() {})
+	}
+	e.Run()
+	for i, it := range e.queue[:cap(e.queue)] {
+		if it.fn != nil {
+			t.Fatalf("slot %d still holds a closure after drain", i)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package trace
+
+import "fmt"
+
+// Stream is a sequential source of requests in arrival order. Generator
+// implements it (synthesis without materialization); a materialized
+// Trace adapts to it with Trace.Stream; RemapStream layers the MD→HC-SD
+// address migration on any stream.
+type Stream interface {
+	// Next yields the stream's following request; ok is false when the
+	// stream is exhausted.
+	Next() (r Request, ok bool)
+}
+
+var _ Stream = (*Generator)(nil)
+
+// sliceStream walks a materialized trace.
+type sliceStream struct {
+	t Trace
+	i int
+}
+
+func (s *sliceStream) Next() (Request, bool) {
+	if s.i >= len(s.t) {
+		return Request{}, false
+	}
+	r := s.t[s.i]
+	s.i++
+	return r, true
+}
+
+// Stream returns a one-pass Stream over the materialized trace.
+func (t Trace) Stream() Stream { return &sliceStream{t: t} }
+
+// remapStream applies the Remap address migration on the fly.
+type remapStream struct {
+	s       Stream
+	offsets []int64
+}
+
+func (s *remapStream) Next() (Request, bool) {
+	r, ok := s.s.Next()
+	if !ok {
+		return Request{}, false
+	}
+	if r.Disk >= len(s.offsets) {
+		panic(fmt.Sprintf("trace: request targets disk %d but only %d offsets given",
+			r.Disk, len(s.offsets)))
+	}
+	r.LBA += s.offsets[r.Disk]
+	r.Disk = 0
+	return r, true
+}
+
+// RemapStream retargets every request of s to a single disk (disk 0) at
+// LBA offset[r.Disk]+r.LBA — the streaming form of Trace.Remap,
+// implementing the paper's MD→HC-SD migration layout. A request
+// targeting a disk beyond the offset table panics: streams are consumed
+// inside simulations, where an unroutable request is a simulator bug.
+func RemapStream(s Stream, offsets []int64) Stream {
+	return &remapStream{s: s, offsets: offsets}
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"testing"
+)
+
+// TestGeneratorMatchesGenerate pins the streaming contract: for every
+// workload spec and several seeds, the Generator yields exactly the
+// sequence Generate materializes.
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	for _, spec := range Workloads() {
+		spec := spec.WithRequests(5000)
+		for seed := int64(1); seed <= 3; seed++ {
+			want, err := Generate(spec, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := NewGenerator(spec, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Remaining() != spec.Requests {
+				t.Fatalf("%s: Remaining = %d before streaming, want %d",
+					spec.Name, g.Remaining(), spec.Requests)
+			}
+			for i := 0; ; i++ {
+				r, ok := g.Next()
+				if !ok {
+					if i != len(want) {
+						t.Fatalf("%s seed %d: stream ended at %d, want %d",
+							spec.Name, seed, i, len(want))
+					}
+					break
+				}
+				if i >= len(want) {
+					t.Fatalf("%s seed %d: stream overran %d requests", spec.Name, seed, len(want))
+				}
+				if r != want[i] {
+					t.Fatalf("%s seed %d: request %d = %+v, want %+v",
+						spec.Name, seed, i, r, want[i])
+				}
+			}
+			if g.Remaining() != 0 {
+				t.Fatalf("%s: Remaining = %d after exhaustion", spec.Name, g.Remaining())
+			}
+			if _, ok := g.Next(); ok {
+				t.Fatalf("%s: Next yielded past exhaustion", spec.Name)
+			}
+		}
+	}
+}
+
+// TestRemapStreamMatchesRemap checks the streaming migration against the
+// materialized Trace.Remap for the same offsets.
+func TestRemapStreamMatchesRemap(t *testing.T) {
+	spec := Financial().WithRequests(2000)
+	tr, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := make([]int64, spec.Disks)
+	for i := range offsets {
+		offsets[i] = int64(i) * 1 << 25
+	}
+	want, err := tr.Remap(offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RemapStream(tr.Stream(), offsets)
+	for i := 0; ; i++ {
+		r, ok := s.Next()
+		if !ok {
+			if i != len(want) {
+				t.Fatalf("stream ended at %d, want %d", i, len(want))
+			}
+			break
+		}
+		if r != want[i] {
+			t.Fatalf("request %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+// TestRemapStreamPanicsOnUnroutableDisk mirrors Trace.Remap's error on a
+// request beyond the offset table.
+func TestRemapStreamPanicsOnUnroutableDisk(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RemapStream accepted a request beyond the offset table")
+		}
+	}()
+	s := RemapStream(Trace{{Disk: 3, Sectors: 1}}.Stream(), []int64{0, 100})
+	s.Next()
+}
+
+// BenchmarkGeneratorStream measures per-request streaming synthesis —
+// the steady-state cost a streaming replay pays instead of holding a
+// materialized trace.
+func BenchmarkGeneratorStream(b *testing.B) {
+	b.ReportAllocs()
+	spec := TPCC()
+	spec.Requests = 1 << 30 // effectively unbounded for the benchmark
+	g, err := NewGenerator(spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("generator exhausted")
+		}
+	}
+}

@@ -171,18 +171,30 @@ func WorkloadByName(name string) (WorkloadSpec, error) {
 	return WorkloadSpec{}, fmt.Errorf("trace: unknown workload %q", name)
 }
 
-// Generate synthesizes a trace from the spec. The same (spec, seed) pair
-// always yields the same trace.
-func Generate(spec WorkloadSpec, seed int64) (Trace, error) {
+// Generator streams the synthesis of a workload trace one request at a
+// time, so multi-million-request replays never materialize the full
+// trace: a simulation pulls the next arrival as it needs it and the
+// working set stays O(1). The same (spec, seed) pair yields exactly the
+// sequence Generate returns — Generate is implemented on top of
+// Generator, and streaming_test.go pins the equivalence.
+type Generator struct {
+	spec      WorkloadSpec
+	rng       *rand.Rand
+	footprint int64
+	hot       int64
+	next      []int64 // per-disk sequential-run cursors
+	now       float64
+	burstLeft int
+	emitted   int
+}
+
+// NewGenerator validates the spec and prepares a streaming synthesizer.
+func NewGenerator(spec WorkloadSpec, seed int64) (*Generator, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	t := make(Trace, 0, spec.Requests)
-
 	diskSectors := spec.DiskSectors()
 	footprint := int64(float64(diskSectors) * spec.FootprintFrac)
-	hot := int64(float64(footprint) * spec.HotFrac)
 	maxSize := 0
 	for _, c := range spec.SizeChoices {
 		if c > maxSize {
@@ -192,53 +204,89 @@ func Generate(spec WorkloadSpec, seed int64) (Trace, error) {
 	if footprint <= int64(maxSize) {
 		return nil, fmt.Errorf("trace: %s: footprint %d sectors too small for transfers", spec.Name, footprint)
 	}
-
-	// Per-disk sequential-run cursors.
 	next := make([]int64, spec.Disks)
 	for i := range next {
 		next[i] = -1
 	}
+	return &Generator{
+		spec:      spec,
+		rng:       rand.New(rand.NewSource(seed)),
+		footprint: footprint,
+		hot:       int64(float64(footprint) * spec.HotFrac),
+		next:      next,
+	}, nil
+}
 
-	now := 0.0
-	burstLeft := 0
-	for i := 0; i < spec.Requests; i++ {
-		// Arrival process: Markov-modulated exponential inter-arrivals.
-		mean := spec.MeanInterArrivalMs
-		if burstLeft > 0 {
-			mean /= spec.BurstFactor
-			burstLeft--
-		} else if spec.BurstFrac > 0 && rng.Float64() < spec.BurstFrac/8 {
-			// Enter a burst of geometric mean length 8.
-			burstLeft = 1 + rng.Intn(15)
-		}
-		now += rng.ExpFloat64() * mean
+// Remaining reports how many requests the generator has yet to yield.
+func (g *Generator) Remaining() int { return g.spec.Requests - g.emitted }
 
-		disk := rng.Intn(spec.Disks)
-		if spec.HotDisks > 0 && rng.Float64() < spec.HotDiskProb {
-			disk = rng.Intn(spec.HotDisks)
-		}
-		size := spec.SizeChoices[rng.Intn(len(spec.SizeChoices))]
-
-		var lba int64
-		if next[disk] >= 0 && rng.Float64() < spec.SeqRunProb {
-			lba = next[disk]
-			if lba+int64(size) > footprint {
-				lba = 0
-			}
-		} else if rng.Float64() < spec.HotProb && hot > int64(size) {
-			lba = rng.Int63n(hot - int64(size))
-		} else {
-			lba = rng.Int63n(footprint - int64(size))
-		}
-		next[disk] = lba + int64(size)
-
-		t = append(t, Request{
-			ArrivalMs: now,
-			Disk:      disk,
-			LBA:       lba,
-			Sectors:   size,
-			Read:      rng.Float64() < spec.ReadFraction,
-		})
+// Next yields the following request of the stream; ok is false once
+// spec.Requests requests have been produced.
+func (g *Generator) Next() (r Request, ok bool) {
+	if g.emitted >= g.spec.Requests {
+		return Request{}, false
 	}
-	return t, nil
+	g.emitted++
+	spec, rng := &g.spec, g.rng
+
+	// Arrival process: Markov-modulated exponential inter-arrivals (the
+	// precise process is documented in DESIGN.md §4).
+	mean := spec.MeanInterArrivalMs
+	if g.burstLeft > 0 {
+		mean /= spec.BurstFactor
+		g.burstLeft--
+	} else if spec.BurstFrac > 0 && rng.Float64() < spec.BurstFrac/8 {
+		// Enter a burst whose length is drawn uniformly from {1..15}
+		// (mean 8); entering with probability BurstFrac/8 per
+		// non-burst request puts ~BurstFrac of all requests inside
+		// bursts in expectation.
+		g.burstLeft = 1 + rng.Intn(15)
+	}
+	g.now += rng.ExpFloat64() * mean
+
+	disk := rng.Intn(spec.Disks)
+	if spec.HotDisks > 0 && rng.Float64() < spec.HotDiskProb {
+		disk = rng.Intn(spec.HotDisks)
+	}
+	size := spec.SizeChoices[rng.Intn(len(spec.SizeChoices))]
+
+	var lba int64
+	if g.next[disk] >= 0 && rng.Float64() < spec.SeqRunProb {
+		lba = g.next[disk]
+		if lba+int64(size) > g.footprint {
+			lba = 0
+		}
+	} else if rng.Float64() < spec.HotProb && g.hot > int64(size) {
+		lba = rng.Int63n(g.hot - int64(size))
+	} else {
+		lba = rng.Int63n(g.footprint - int64(size))
+	}
+	g.next[disk] = lba + int64(size)
+
+	return Request{
+		ArrivalMs: g.now,
+		Disk:      disk,
+		LBA:       lba,
+		Sectors:   size,
+		Read:      rng.Float64() < spec.ReadFraction,
+	}, true
+}
+
+// Generate synthesizes a trace from the spec. The same (spec, seed) pair
+// always yields the same trace. Prefer streaming with NewGenerator when
+// the caller replays the requests once: it produces the identical
+// sequence without holding the whole trace in memory.
+func Generate(spec WorkloadSpec, seed int64) (Trace, error) {
+	g, err := NewGenerator(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := make(Trace, 0, spec.Requests)
+	for {
+		r, ok := g.Next()
+		if !ok {
+			return t, nil
+		}
+		t = append(t, r)
+	}
 }

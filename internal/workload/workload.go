@@ -109,42 +109,83 @@ func (s Spec) WithRequests(n int) Spec {
 	return s
 }
 
-// Generate synthesizes the stream. The same (spec, seed) pair always
-// yields the same trace. Requests target Disk 0 with array-level LBAs;
-// the array layout maps them onto members.
-func Generate(spec Spec, seed int64) (trace.Trace, error) {
+// Generator streams the synthesis one request at a time, mirroring
+// trace.Generator: replays pull arrivals as the simulation advances
+// instead of materializing the full stream per parallel job. The same
+// (spec, seed) pair yields exactly the sequence Generate returns.
+type Generator struct {
+	spec    Spec
+	rng     *rand.Rand
+	maxSize int
+	now     float64
+	nextSeq int64
+	emitted int
+}
+
+// NewGenerator validates the spec and prepares a streaming synthesizer.
+func NewGenerator(spec Spec, seed int64) (*Generator, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
 	maxSize := 0
 	for _, c := range spec.SizeChoices {
 		if c > maxSize {
 			maxSize = c
 		}
 	}
-	t := make(trace.Trace, 0, spec.Requests)
-	now := 0.0
-	var nextSeq int64 = -1
-	for i := 0; i < spec.Requests; i++ {
-		now += rng.ExpFloat64() * spec.MeanInterArrivalMs
-		size := spec.SizeChoices[rng.Intn(len(spec.SizeChoices))]
-		var lba int64
-		if nextSeq >= 0 && rng.Float64() < spec.SeqFraction {
-			lba = nextSeq
-			if lba+int64(size) > spec.CapacitySectors {
-				lba = 0
-			}
-		} else {
-			lba = rng.Int63n(spec.CapacitySectors - int64(maxSize))
-		}
-		nextSeq = lba + int64(size)
-		t = append(t, trace.Request{
-			ArrivalMs: now,
-			LBA:       lba,
-			Sectors:   size,
-			Read:      rng.Float64() < spec.ReadFraction,
-		})
+	return &Generator{
+		spec:    spec,
+		rng:     rand.New(rand.NewSource(seed)),
+		maxSize: maxSize,
+		nextSeq: -1,
+	}, nil
+}
+
+var _ trace.Stream = (*Generator)(nil)
+
+// Next yields the following request; ok is false once spec.Requests
+// requests have been produced.
+func (g *Generator) Next() (trace.Request, bool) {
+	if g.emitted >= g.spec.Requests {
+		return trace.Request{}, false
 	}
-	return t, nil
+	g.emitted++
+	spec, rng := &g.spec, g.rng
+	g.now += rng.ExpFloat64() * spec.MeanInterArrivalMs
+	size := spec.SizeChoices[rng.Intn(len(spec.SizeChoices))]
+	var lba int64
+	if g.nextSeq >= 0 && rng.Float64() < spec.SeqFraction {
+		lba = g.nextSeq
+		if lba+int64(size) > spec.CapacitySectors {
+			lba = 0
+		}
+	} else {
+		lba = rng.Int63n(spec.CapacitySectors - int64(g.maxSize))
+	}
+	g.nextSeq = lba + int64(size)
+	return trace.Request{
+		ArrivalMs: g.now,
+		LBA:       lba,
+		Sectors:   size,
+		Read:      rng.Float64() < spec.ReadFraction,
+	}, true
+}
+
+// Generate synthesizes the stream. The same (spec, seed) pair always
+// yields the same trace. Requests target Disk 0 with array-level LBAs;
+// the array layout maps them onto members. Prefer streaming with
+// NewGenerator when the caller replays the requests once.
+func Generate(spec Spec, seed int64) (trace.Trace, error) {
+	g, err := NewGenerator(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := make(trace.Trace, 0, spec.Requests)
+	for {
+		r, ok := g.Next()
+		if !ok {
+			return t, nil
+		}
+		t = append(t, r)
+	}
 }
