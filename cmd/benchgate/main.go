@@ -128,12 +128,29 @@ func main() {
 		fatal(err)
 	}
 
+	failed, err := gate(os.Stdout, got, base, *tolerance)
+	if err != nil {
+		fatal(err)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: allocs/op regressed beyond tolerance")
+		os.Exit(1)
+	}
+}
+
+// gate compares the parsed results against the baseline's After
+// section, writing one status line per benchmark. It reports whether
+// any benchmark regressed, and errors when the input shares no
+// benchmark with the baseline at all: a run whose bench selection
+// drifted away from the baseline would otherwise "pass" while gating
+// nothing.
+func gate(w io.Writer, got map[string]Result, base Baseline, tolerance float64) (failed bool, err error) {
 	names := make([]string, 0, len(got))
 	for name := range got {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	failed := false
+	matched := 0
 	for _, name := range names {
 		cur := got[name]
 		ref, ok := base.After[name]
@@ -143,25 +160,26 @@ func main() {
 			ref, ok = base.After[cpuSuffix.ReplaceAllString(name, "")]
 		}
 		if !ok {
-			fmt.Printf("  ?    %-45s allocs/op=%.0f (no baseline)\n", name, cur.AllocsPerOp)
+			fmt.Fprintf(w, "  ?    %-45s allocs/op=%.0f (no baseline)\n", name, cur.AllocsPerOp)
 			continue
 		}
+		matched++
 		// Gate allocs/op with relative tolerance plus 2 allocs of
 		// absolute slack: one-time setup divided by small benchtime
 		// iteration counts must not trip the gate.
-		allowed := ref.AllocsPerOp*(1+*tolerance) + 2
+		allowed := ref.AllocsPerOp*(1+tolerance) + 2
 		status := "ok"
 		if cur.AllocsPerOp > allowed {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("  %-4s %-45s allocs/op=%.0f baseline=%.0f ns/op=%.0f (baseline %.0f)\n",
+		fmt.Fprintf(w, "  %-4s %-45s allocs/op=%.0f baseline=%.0f ns/op=%.0f (baseline %.0f)\n",
 			status, name, cur.AllocsPerOp, ref.AllocsPerOp, cur.NsPerOp, ref.NsPerOp)
 	}
-	if failed {
-		fmt.Fprintln(os.Stderr, "benchgate: allocs/op regressed beyond tolerance")
-		os.Exit(1)
+	if matched == 0 {
+		return false, fmt.Errorf("benchgate: none of the baseline's %d benchmarks appear in the input (%d parsed); the gate would pass vacuously", len(base.After), len(got))
 	}
+	return failed, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,71 @@
+// Command idplint enforces the repository's determinism contract at
+// the source level. It loads every package named by its arguments
+// (default ./...), runs the analyzers in internal/analysis/passes, and
+// prints one "file:line:col: [analyzer] message" line per finding,
+// exiting nonzero if there are any.
+//
+//	usage: idplint [-list] [packages]
+//
+// The analyzers encode the invariants DESIGN.md argues in prose: no
+// wall-clock time in simulation packages (wallclock), no global or
+// constant-seeded randomness (globalrand), no concurrency outside the
+// fleet orchestrator (nogoroutine), and no order-dependent effects
+// under map iteration (maporder). A finding is suppressed by an
+//
+//	//idplint:allow <analyzer> <reason>
+//
+// directive on the flagged line or the line above it; the reason is
+// mandatory so every exception documents why the invariant still
+// holds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/globalrand"
+	"repro/internal/analysis/passes/maporder"
+	"repro/internal/analysis/passes/nogoroutine"
+	"repro/internal/analysis/passes/wallclock"
+)
+
+var analyzers = []*analysis.Analyzer{
+	globalrand.Analyzer,
+	maporder.Analyzer,
+	nogoroutine.Analyzer,
+	wallclock.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idplint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idplint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "idplint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,192 @@
+// Package analysis is a minimal, stdlib-only static-analysis framework
+// for idplint, the repository's determinism and simulation-purity
+// linter. It deliberately avoids golang.org/x/tools: packages are
+// loaded with go/parser and typechecked with go/types against the
+// compiler's export data (see load.go), and analyzers are plain
+// functions over the typed syntax tree.
+//
+// The framework exists to make the determinism contract of DESIGN.md
+// machine-checked: all time is simulated time, all randomness flows
+// from injected, seed-derived *rand.Rand values, all parallelism goes
+// through internal/fleet, and no output or state mutation depends on
+// Go's randomized map iteration order. Each invariant is one Analyzer
+// in internal/analysis/passes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check. Run inspects a single
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("wallclock") and in
+	// //idplint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces, shown by `idplint -help`.
+	Doc string
+	// Run performs the check. It may return an error only for internal
+	// failures; findings go through Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, printed as "file:line:col: [analyzer] message".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// AllowPrefix is the directive comment that suppresses findings:
+//
+//	//idplint:allow wallclock reason for the exception
+//
+// placed on the flagged line or the line directly above it. The first
+// field names the analyzer (or a comma-separated list); a reason is
+// required so every exception documents why the invariant holds anyway.
+const AllowPrefix = "idplint:allow"
+
+// allowKey identifies one (file, line) an allow directive covers.
+type allowKey struct {
+	file string
+	line int
+}
+
+// BadDirectiveError reports a malformed //idplint:allow comment.
+type BadDirectiveError struct {
+	Pos token.Position
+	Why string
+}
+
+func (e *BadDirectiveError) Error() string {
+	return fmt.Sprintf("%s:%d: bad %s directive: %s", e.Pos.Filename, e.Pos.Line, AllowPrefix, e.Why)
+}
+
+// allowedLines collects the analyzer names each //idplint:allow
+// directive suppresses, keyed by the line it covers: its own line when
+// the directive trails code, the line below when it stands alone.
+func allowedLines(pkg *Package) (map[allowKey]map[string]bool, error) {
+	allowed := make(map[allowKey]map[string]bool)
+	for _, f := range pkg.Files {
+		codeBefore := codeOffsets(pkg.Fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, AllowPrefix))
+				if len(fields) == 0 {
+					return nil, &BadDirectiveError{Pos: pos, Why: "missing analyzer name"}
+				}
+				if len(fields) < 2 {
+					return nil, &BadDirectiveError{Pos: pos, Why: "missing reason (write //idplint:allow <analyzer> <why the invariant still holds>)"}
+				}
+				line := pos.Line
+				if off, ok := codeBefore[line]; !ok || off >= pos.Offset {
+					line++ // standalone directive: covers the next line
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					k := allowKey{file: pos.Filename, line: line}
+					if allowed[k] == nil {
+						allowed[k] = make(map[string]bool)
+					}
+					allowed[k][name] = true
+				}
+			}
+		}
+	}
+	return allowed, nil
+}
+
+// codeOffsets maps each line of f holding code to the smallest file
+// offset where that code starts, so a directive comment can tell
+// whether it trails a statement or stands on a line of its own.
+func codeOffsets(fset *token.FileSet, f *ast.File) map[int]int {
+	offsets := make(map[int]int)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.File, *ast.CommentGroup, *ast.Comment:
+			return true
+		}
+		pos := fset.Position(n.Pos())
+		if off, ok := offsets[pos.Line]; !ok || pos.Offset < off {
+			offsets[pos.Line] = pos.Offset
+		}
+		return true
+	})
+	return offsets
+}
+
+// Run applies every analyzer to every package, filters findings that an
+// //idplint:allow directive covers, and returns the rest sorted by
+// position. Analyzer errors (not findings) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allowed, err := allowedLines(pkg)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if names := allowed[allowKey{file: d.Pos.Filename, line: d.Pos.Line}]; names[a.Name] {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// Inspect walks every file of the pass's package in source order,
+// calling fn for each node. fn returning false prunes the subtree.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

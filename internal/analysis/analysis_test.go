@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goStmts is a throwaway analyzer that flags every go statement,
+// exercising the driver plumbing without dragging in a real pass.
+var goStmts = &Analyzer{
+	Name: "gostmts",
+	Doc:  "flag every go statement (test analyzer)",
+	Run: func(pass *Pass) error {
+		pass.Inspect(func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "go statement")
+			}
+			return true
+		})
+		return nil
+	},
+}
+
+func writeFixture(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadFixture(dir, "repro/internal/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestRunReportsAndSorts(t *testing.T) {
+	pkg := writeFixture(t, `package demo
+
+func b(f func()) { go f() }
+
+func a(f func()) { go f() }
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{goStmts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line >= diags[1].Pos.Line {
+		t.Errorf("diagnostics not sorted by line: %v", diags)
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "fixture.go:3:") || !strings.Contains(s, "[gostmts] go statement") {
+		t.Errorf("diagnostic format %q, want file:line:col: [analyzer] message", s)
+	}
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	pkg := writeFixture(t, `package demo
+
+func a(f func()) {
+	go f() //idplint:allow gostmts the test needs exactly this exception
+	go f()
+}
+
+func b(f func()) {
+	//idplint:allow gostmts directive on the line above also covers it
+	go f()
+}
+
+func c(f func()) {
+	//idplint:allow othercheck a different analyzer's directive must not suppress
+	go f()
+}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{goStmts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (one unsuppressed in a, one in c): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 5 {
+		t.Errorf("surviving diagnostic at line %d, want 5", diags[0].Pos.Line)
+	}
+}
+
+func TestAllowDirectiveRequiresReason(t *testing.T) {
+	pkg := writeFixture(t, `package demo
+
+func a(f func()) {
+	go f() //idplint:allow gostmts
+}
+`)
+	_, err := Run([]*Package{pkg}, []*Analyzer{goStmts})
+	if err == nil || !strings.Contains(err.Error(), "missing reason") {
+		t.Fatalf("got error %v, want missing-reason directive error", err)
+	}
+}
+
+func TestIsSimPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		sim  bool
+		conc bool
+	}{
+		{"repro", true, false},
+		{"repro/internal/disk", true, false},
+		{"repro/internal/analysis", true, false},
+		{"repro/internal/fleet", false, true},
+		{"repro/internal/obs", false, true},
+		{"repro/cmd/idpbench", false, true},
+		{"repro/examples/quickstart", false, false},
+		{"fmt", false, false},
+	}
+	for _, c := range cases {
+		if got := IsSimPackage(c.path); got != c.sim {
+			t.Errorf("IsSimPackage(%q) = %v, want %v", c.path, got, c.sim)
+		}
+		if got := MayUseConcurrency(c.path); got != c.conc {
+			t.Errorf("MayUseConcurrency(%q) = %v, want %v", c.path, got, c.conc)
+		}
+	}
+}
+
+func TestLoadModulePackages(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/analysis/...", "./cmd/idplint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make(map[string]bool)
+	for _, p := range pkgs {
+		paths[p.Path] = true
+		if p.Types == nil || p.TypesInfo == nil {
+			t.Errorf("%s: missing type information", p.Path)
+		}
+	}
+	for _, want := range []string{"repro/internal/analysis", "repro/cmd/idplint"} {
+		if !paths[want] {
+			t.Errorf("Load did not return %s (got %v)", want, paths)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its findings against // want directives embedded in the
+// fixture source, in the spirit of golang.org/x/tools' harness of the
+// same name but built only on the standard library.
+//
+// A fixture lives under the analyzer's testdata/src directory; the
+// path below src is the package's import path, so a fixture that must
+// look like simulation code sits at e.g.
+// testdata/src/repro/internal/disk. Each line that should trigger a
+// finding carries a directive:
+//
+//	t := time.Now() // want "time\\.Now"
+//
+// The quoted string is a regexp matched against the diagnostic
+// message; several quoted regexps on one directive expect several
+// findings on that line. Lines without a directive must produce no
+// finding, so every fixture pins allowed patterns as hard as caught
+// ones.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantPrefix introduces an expectation directive in fixture source.
+const wantPrefix = "want "
+
+// expectation is one // want regexp with bookkeeping for whether a
+// diagnostic matched it.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads each fixture package (an import path below testdata/src),
+// applies the analyzer, and reports any mismatch between its findings
+// and the fixtures' // want directives as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, ip := range importPaths {
+		pkg, err := analysis.LoadFixture(filepath.Join(testdata, "src", filepath.FromSlash(ip)), ip)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", ip, err)
+			continue
+		}
+		wants, err := parseWants(pkg)
+		if err != nil {
+			t.Errorf("fixture %s: %v", ip, err)
+			continue
+		}
+		diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, ip, err)
+			continue
+		}
+		for _, d := range diags {
+			if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+				t.Errorf("%s: unexpected finding: %s", ip, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.met {
+				t.Errorf("%s: %s:%d: expected a finding matching %q, got none",
+					ip, w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmet expectation on (file, line) whose regexp
+// matches msg and reports whether one existed.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.met && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the // want directives from the fixture's
+// comments. The directive's expectations apply to the line it starts
+// on, which is the line of the flagged code when the comment trails it.
+func parseWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, wantPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, wantPrefix))
+				n := 0
+				for rest != "" {
+					quoted, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: malformed want directive at %q (expectations are Go-quoted regexps)",
+							pos.Filename, pos.Line, rest)
+					}
+					pattern, err := strconv.Unquote(quoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[len(quoted):])
+					n++
+				}
+				if n == 0 {
+					return nil, fmt.Errorf("%s:%d: want directive with no expectations", pos.Filename, pos.Line)
+				}
+			}
+		}
+	}
+	return wants, nil
+}

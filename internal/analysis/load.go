@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one typechecked package under analysis: the parsed
+// syntax of its non-test Go files plus full go/types information.
+type Package struct {
+	// Path is the package's import path ("repro/internal/disk").
+	// Analyzers use it to decide whether their invariant applies.
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load expands patterns (e.g. "./...") relative to dir with the go
+// command and typechecks every matched package from source. Imports —
+// stdlib and intra-module alike — resolve through the compiler's
+// export data reported by `go list -export`, so the loader needs no
+// third-party machinery and never re-typechecks dependencies.
+//
+// Only non-test files are loaded: the determinism contract applies to
+// simulation code, while tests are free to use wall-clock timeouts,
+// goroutines, and throwaway RNGs.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var roots []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	pkgs := make([]*Package, 0, len(roots))
+	for _, p := range roots {
+		files := make([]string, len(p.GoFiles))
+		for i, name := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, name)
+		}
+		pkg, err := check(fset, imp, p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to types.Packages by reading the
+// compiler's export data files listed in exports.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// check parses files and typechecks them as one package.
+func check(fset *token.FileSet, imp types.Importer, path string, files []string) (*Package, error) {
+	asts := make([]*ast.File, 0, len(files))
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: asts, Types: tpkg, TypesInfo: info}, nil
+}
+
+// LoadFixture typechecks the single package rooted at dir as import
+// path importPath, for the directive-comment fixture harness. Fixture
+// files may import only the standard library; export data for those
+// imports is resolved with one `go list -export` over the imports the
+// files actually name.
+func LoadFixture(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	// First parse pass: discover the imports the fixture needs.
+	fset := token.NewFileSet()
+	imports := make(map[string]bool)
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			p, err := importPathOf(spec)
+			if err != nil {
+				return nil, err
+			}
+			imports[p] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		args := []string{"list", "-json=ImportPath,Export", "-export", "-deps"}
+		for p := range imports {
+			args = append(args, p)
+		}
+		sort.Strings(args[4:])
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list for fixture imports: %w\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPackage
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return check(fset, exportImporter(fset, exports), importPath, files)
+}
+
+func importPathOf(spec *ast.ImportSpec) (string, error) {
+	if len(spec.Path.Value) < 2 {
+		return "", errors.New("malformed import path")
+	}
+	return spec.Path.Value[1 : len(spec.Path.Value)-1], nil
+}

@@ -1,0 +1,89 @@
+// Package globalrand flags randomness that does not flow from an
+// injected, seed-derived *rand.Rand. Two rules:
+//
+//  1. Everywhere (simulation packages, commands, and examples alike):
+//     no calls to math/rand's package-level functions (rand.Intn,
+//     rand.Float64, rand.Shuffle, ...). Those draw from the process
+//     global source, which is shared across goroutines and — absent an
+//     explicit rand.Seed — differently seeded per run, so two runs of
+//     the same experiment diverge.
+//
+//  2. In simulation packages: rand.NewSource (and rand.New) must be
+//     fed a derived seed — a variable, field, or parameter ultimately
+//     rooted in the fleet's SplitMix64 stream — never a constant baked
+//     into library code, which would silently correlate every caller's
+//     random stream. Entry points (cmd, examples, tests) may use
+//     literal seeds: there the constant is the experiment's identity.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// globalFns are math/rand package-level functions that consume the
+// global source. Constructors (New, NewSource, NewZipf) and types are
+// deliberately absent: building an explicit generator is the fix.
+var globalFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid math/rand's global source everywhere, and constant seeds to rand.NewSource " +
+		"in simulation packages; RNGs must be injected *rand.Rand values with derived seeds",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.TypesInfo
+	sim := analysis.IsSimPackage(pass.Pkg.Path)
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name, ok := randSelector(info, n.Fun)
+			if !ok || !sim || (name != "NewSource" && name != "New") {
+				return true
+			}
+			for _, arg := range n.Args {
+				if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+					pass.Reportf(arg.Pos(), "constant seed %s to rand.%s in simulation package %s: seeds must be derived from the job's seed stream",
+						tv.Value, name, pass.Pkg.Path)
+				}
+			}
+		case *ast.SelectorExpr:
+			if name, ok := randSelector(info, n); ok && globalFns[name] {
+				pass.Reportf(n.Pos(), "rand.%s draws from math/rand's global source: inject a seeded *rand.Rand instead", name)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// randSelector reports whether expr selects a name from math/rand (or
+// math/rand/v2) and returns that name.
+func randSelector(info *types.Info, expr ast.Expr) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	switch pkg.Imported().Path() {
+	case "math/rand", "math/rand/v2":
+		return sel.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,15 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer,
+		"repro/internal/workload", // simulation package: strict seed rules
+		"repro/examples/demo",     // entry point: literal seeds allowed, global source still flagged
+	)
+}

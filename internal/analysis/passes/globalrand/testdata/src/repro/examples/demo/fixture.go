@@ -1,0 +1,12 @@
+// Fixture: an entry point (examples/) may seed a generator with a
+// literal — there the constant is the experiment's identity — but the
+// global source is still forbidden.
+package main
+
+import "math/rand"
+
+func run() {
+	rng := rand.New(rand.NewSource(7)) // allowed: entry points own their seeds
+	_ = rng.Intn(10)
+	_ = rand.Intn(10) // want `global source`
+}

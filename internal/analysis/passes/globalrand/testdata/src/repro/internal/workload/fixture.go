@@ -1,0 +1,25 @@
+// Fixture: randomness rules inside a simulation package. The global
+// math/rand source is always flagged; constructors are flagged when
+// fed a constant seed and allowed when the seed is injected.
+package workload
+
+import "math/rand"
+
+func bad(n int) {
+	rand.Seed(99)                      // want `rand\.Seed`
+	_ = rand.Intn(n)                   // want `rand\.Intn`
+	_ = rand.Float64()                 // want `rand\.Float64`
+	_ = rand.Perm(n)                   // want `rand\.Perm`
+	rand.Shuffle(n, func(int, int) {}) // want `rand\.Shuffle`
+	_ = rand.New(rand.NewSource(42))   // want `constant seed 42`
+	_ = rand.NewSource(7)              // want `constant seed 7`
+	_ = rand.NewSource(seedConst)      // want `constant seed 12345`
+}
+
+const seedConst = 12345
+
+func allowed(seed int64) *rand.Rand {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(10) // method on an injected generator, not the global source
+	return rng
+}

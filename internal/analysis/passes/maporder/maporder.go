@@ -1,0 +1,271 @@
+// Package maporder flags map iteration whose body has effects that
+// depend on iteration order. Go randomizes map range order per run on
+// purpose; in a simulator that must produce byte-identical output, a
+// map range that mutates outside state, appends results, schedules
+// events, or writes output is a reproducibility bug even when it "looks
+// deterministic" on one machine.
+//
+// The sanctioned pattern is collect-then-sort:
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//	for _, k := range keys { ... }
+//
+// so a range body consisting solely of appends of the loop variables
+// (the collect step) is allowed, as are bodies whose writes all target
+// variables declared inside the loop.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range over a map in simulation packages when the loop body writes state, calls out, " +
+		"or appends beyond collecting keys for sorting; map iteration order is randomized per run",
+	Run: run,
+}
+
+// pureBuiltins neither mutate state nor produce output, so calls to
+// them inside a map range are harmless.
+var pureBuiltins = map[string]bool{
+	"len": true, "cap": true, "min": true, "max": true,
+	"make": true, "new": true, "append": true,
+	"real": true, "imag": true, "complex": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimPackage(pass.Pkg.Path) {
+		return nil
+	}
+	info := pass.Pkg.TypesInfo
+	pass.Inspect(func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if isCollectLoop(info, rng) {
+			return true
+		}
+		if effect, pos := orderDependentEffect(info, rng); effect != "" {
+			pass.Reportf(pos, "range over map with order-dependent effect (%s): collect the keys, sort them, then iterate the sorted slice",
+				effect)
+		}
+		return true
+	})
+	return nil
+}
+
+// isCollectLoop reports whether the range body only collects the loop
+// variables into slices — the collect step of collect-then-sort. A
+// collect body is a sequence of appends of the loop variables, possibly
+// filtered by if statements whose conditions are pure (no calls beyond
+// conversions and pure builtins) and possibly skipping with continue.
+func isCollectLoop(info *types.Info, rng *ast.RangeStmt) bool {
+	return len(rng.Body.List) > 0 && isCollectStmts(info, rng, rng.Body.List)
+}
+
+func isCollectStmts(info *types.Info, rng *ast.RangeStmt, stmts []ast.Stmt) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if !isCollectAppend(info, rng, s) {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || !pureExpr(info, s.Cond) || !isCollectStmts(info, rng, s.Body.List) {
+				return false
+			}
+			switch e := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !isCollectStmts(info, rng, e.List) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isCollectAppend matches `dst = append(dst, <loop vars>...)`.
+func isCollectAppend(info *types.Info, rng *ast.RangeStmt, asg *ast.AssignStmt) bool {
+	if len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Tok != token.ASSIGN {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || (info.Uses[fn] != nil && info.Uses[fn].Parent() != types.Universe) {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok || !sameIdent(info, dst, call.Args[0]) {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if !isLoopVar(info, rng, arg) {
+			return false
+		}
+	}
+	return true
+}
+
+// pureExpr reports whether expr reads values without calling anything
+// that could have effects: only conversions and pure builtins appear as
+// call syntax.
+func pureExpr(info *types.Info, expr ast.Expr) bool {
+	pure := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && obj.Parent() == types.Universe && pureBuiltins[id.Name] {
+				return true
+			}
+		}
+		pure = false
+		return false
+	})
+	return pure
+}
+
+// sameIdent reports whether expr is an identifier denoting the same
+// object as dst.
+func sameIdent(info *types.Info, dst *ast.Ident, expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	do := info.ObjectOf(dst)
+	return do != nil && do == info.ObjectOf(id)
+}
+
+// isLoopVar reports whether expr is one of the range statement's own
+// key/value variables.
+func isLoopVar(info *types.Info, rng *ast.RangeStmt, expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	for _, v := range []ast.Expr{rng.Key, rng.Value} {
+		if vid, ok := v.(*ast.Ident); ok && info.ObjectOf(vid) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// orderDependentEffect scans the range body for the first effect whose
+// outcome can depend on iteration order: a write to a variable declared
+// outside the loop, or a call that may mutate state, schedule events,
+// or produce output.
+func orderDependentEffect(info *types.Info, rng *ast.RangeStmt) (string, token.Pos) {
+	var effect string
+	var at token.Pos
+	local := func(expr ast.Expr) bool {
+		id := rootIdent(expr)
+		if id == nil {
+			return false
+		}
+		obj := info.ObjectOf(id)
+		// Objects declared inside the range statement (including the
+		// loop variables) are recreated every iteration; writes to them
+		// cannot leak order.
+		return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if effect != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if !local(lhs) {
+					effect, at = "writes "+types.ExprString(lhs), n.Pos()
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !local(n.X) {
+				effect, at = "writes "+types.ExprString(n.X), n.Pos()
+				return false
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil && obj.Parent() == types.Universe {
+					if pureBuiltins[id.Name] {
+						return true
+					}
+					effect, at = "calls builtin "+id.Name, n.Pos()
+					return false
+				}
+			}
+			effect, at = "calls "+types.ExprString(n.Fun), n.Pos()
+			return false
+		}
+		return true
+	})
+	return effect, at
+}
+
+// rootIdent walks to the base identifier of an lvalue expression
+// (x, x.f, x[i], *x, ...).
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

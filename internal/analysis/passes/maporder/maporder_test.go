@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer,
+		"repro/internal/core", // simulation package: effects under map ranges flagged
+	)
+}

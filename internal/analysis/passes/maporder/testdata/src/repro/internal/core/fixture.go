@@ -1,0 +1,53 @@
+// Fixture: map iteration in a simulation package. Order-dependent
+// effects — accumulating floats, producing output, mutating outside
+// state — are flagged; the collect-then-sort idiom and loop-local work
+// are allowed.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+func bad(m map[string]float64, events map[int]func()) {
+	var total float64
+	for _, v := range m {
+		total += v // want `writes total`
+	}
+	for k := range m {
+		fmt.Println(k) // want `calls fmt\.Println`
+	}
+	out := make(map[string]float64)
+	for k, v := range m {
+		out[k+"!"] = v // want `writes out\[k \+ "!"\]`
+	}
+	for _, fire := range events {
+		fire() // want `calls fire`
+	}
+	for k := range m {
+		delete(m, k) // want `calls builtin delete`
+	}
+}
+
+func allowed(m map[string]float64) []string {
+	// The sanctioned pattern: collect (optionally filtered), sort, then
+	// iterate the slice.
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	// Loop-local work leaks nothing.
+	for _, v := range m {
+		scaled := v * 2
+		_ = scaled
+	}
+	_ = total
+	return keys
+}

@@ -1,0 +1,50 @@
+// Package nogoroutine confines concurrency to the orchestration shell.
+// All parallelism in this module flows through internal/fleet, which
+// derives per-job seeds and merges results in submission order — that
+// is the whole determinism-by-merge argument. A go statement or a sync
+// primitive anywhere else introduces scheduling nondeterminism the
+// fleet cannot launder, so both are flagged outside internal/fleet,
+// internal/obs, and cmd/*.
+package nogoroutine
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// concurrencyImports are the packages whose presence means the code is
+// synchronizing goroutines on its own.
+var concurrencyImports = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nogoroutine",
+	Doc: "forbid go statements and sync primitives outside internal/fleet, internal/obs, and cmd/*; " +
+		"all parallelism must flow through the fleet orchestrator",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.MayUseConcurrency(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, spec := range f.Imports {
+			path := spec.Path.Value
+			if len(path) >= 2 && concurrencyImports[path[1:len(path)-1]] {
+				pass.Reportf(spec.Pos(), "import of %s outside the orchestration shell: route parallelism through internal/fleet", path)
+			}
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			pass.Reportf(g.Pos(), "go statement in %s: all parallelism must flow through internal/fleet so results merge deterministically",
+				pass.Pkg.Path)
+		}
+		return true
+	})
+	return nil
+}

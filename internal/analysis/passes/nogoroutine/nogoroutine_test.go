@@ -1,0 +1,15 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/nogoroutine"
+)
+
+func TestNoGoroutine(t *testing.T) {
+	analysistest.Run(t, "testdata", nogoroutine.Analyzer,
+		"repro/internal/sched", // simulation package: go + sync flagged
+		"repro/internal/fleet", // the orchestrator: same code allowed
+	)
+}

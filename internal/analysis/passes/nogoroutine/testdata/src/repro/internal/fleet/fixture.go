@@ -1,0 +1,18 @@
+// Fixture: internal/fleet is the one simulation-adjacent package that
+// may spawn goroutines and synchronize them — it owns seed derivation
+// and deterministic merging for everyone else.
+package fleet
+
+import "sync"
+
+func fan(fs []func()) {
+	var wg sync.WaitGroup
+	for _, f := range fs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,24 @@
+// Fixture: concurrency inside a simulation package. Both the go
+// statement and the sync import are flagged; sequential fan-out is the
+// allowed pattern.
+package sched
+
+import "sync" // want `import of "sync"`
+
+func bad(fs []func()) {
+	var wg sync.WaitGroup
+	for _, f := range fs {
+		wg.Add(1)
+		go func() { // want `go statement`
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+func allowed(fs []func()) {
+	for _, f := range fs {
+		f() // sequential execution preserves determinism
+	}
+}

@@ -1,0 +1,28 @@
+// Fixture: wall-clock access inside a simulation package. Every
+// flagged line carries a want directive; the remaining lines pin the
+// allowed patterns (durations and arithmetic on them carry no clock
+// reading).
+package disk
+
+import "time"
+
+// SimulatedTick is allowed: a duration constant reads no clock.
+const SimulatedTick = 5 * time.Millisecond
+
+func bad() {
+	deadline := time.Now()        // want `time\.Now`
+	_ = time.Since(deadline)      // want `time\.Since`
+	_ = time.Until(deadline)      // want `time\.Until`
+	time.Sleep(time.Millisecond)  // want `time\.Sleep`
+	<-time.Tick(time.Second)      // want `time\.Tick`
+	<-time.After(time.Second)     // want `time\.After`
+	_ = time.NewTimer(time.Hour)  // want `time\.NewTimer`
+	_ = time.NewTicker(time.Hour) // want `time\.NewTicker`
+	f := time.Now                 // want `time\.Now`
+	_ = f
+}
+
+func allowed(ms float64) time.Duration {
+	d := time.Duration(ms * float64(time.Millisecond))
+	return d.Round(time.Microsecond)
+}

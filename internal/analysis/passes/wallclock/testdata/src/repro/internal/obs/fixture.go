@@ -1,0 +1,11 @@
+// Fixture: the same calls are allowed in internal/obs — the
+// orchestration shell may timestamp profiles and logs; only simulation
+// packages are confined to simulated time.
+package obs
+
+import "time"
+
+func stamp() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

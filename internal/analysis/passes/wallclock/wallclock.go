@@ -1,0 +1,59 @@
+// Package wallclock flags wall-clock time access in simulation
+// packages. Inside the simulator the only time that exists is the
+// event engine's simulated clock; a single time.Now() leaking into a
+// model breaks byte-identical replay, because results then depend on
+// host speed and scheduling rather than on the seed.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// banned lists the time package's wall-clock entry points. Pure
+// conversions and constants (time.Duration, time.Millisecond, ...) are
+// fine: they carry no clock reading.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock time (time.Now, time.Sleep, timers) in simulation packages; " +
+		"only the engine's simulated clock may flow through models",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimPackage(pass.Pkg.Path) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !banned[sel.Sel.Name] {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := pass.Pkg.TypesInfo.Uses[ident].(*types.PkgName)
+		if !ok || pkg.Imported().Path() != "time" {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "time.%s in simulation package %s: models must take time from the simulation engine, never the wall clock",
+			sel.Sel.Name, pass.Pkg.Path)
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,15 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer,
+		"repro/internal/disk", // simulation package: every clock read flagged
+		"repro/internal/obs",  // orchestration shell: same calls allowed
+	)
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import "strings"
+
+// The determinism contract divides the module into simulation code —
+// where all time is simulated, all randomness is injected, and all
+// effects must be reproducible — and the orchestration shell around it.
+// Only the shell may touch the wall clock, spawn goroutines, or use
+// sync primitives:
+//
+//   - internal/fleet owns all parallelism (SplitMix64 seed derivation,
+//     ordered merges);
+//   - internal/obs may timestamp profiles and guard sinks;
+//   - cmd/* and examples/* are process entry points (flag parsing,
+//     file I/O, progress meters).
+//
+// Everything else under internal/ plus the root package is simulation
+// code. The set is defined by exclusion so a newly added model package
+// is checked by default — forgetting to classify it must fail closed.
+var shellPackages = map[string]bool{
+	"repro/internal/fleet": true,
+	"repro/internal/obs":   true,
+}
+
+// IsSimPackage reports whether the package at path is simulation code,
+// subject to the strict determinism invariants (wallclock, maporder,
+// and the seed rules of globalrand).
+func IsSimPackage(path string) bool {
+	if shellPackages[path] {
+		return false
+	}
+	if strings.HasPrefix(path, "repro/cmd/") || strings.HasPrefix(path, "repro/examples/") {
+		return false
+	}
+	return path == "repro" || strings.HasPrefix(path, "repro/internal/")
+}
+
+// MayUseConcurrency reports whether the package at path is allowed to
+// use go statements and sync primitives. Parallelism must otherwise
+// flow through internal/fleet so determinism-by-merge is preserved.
+func MayUseConcurrency(path string) bool {
+	return shellPackages[path] || strings.HasPrefix(path, "repro/cmd/")
+}

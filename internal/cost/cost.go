@@ -135,7 +135,14 @@ func DriveCost(platters, actuators int) (Range, error) {
 	}
 	prices := UnitPrices()
 	var total Range
-	for c, n := range bom {
+	// Sum in table order, not map order: Range.Add is a float sum, and
+	// float addition is not associative, so iterating the bill of
+	// materials directly could change the total's last ulp per run.
+	for _, c := range Components() {
+		n, ok := bom[c]
+		if !ok {
+			continue
+		}
 		p := prices[c]
 		if c == MotorDriver {
 			p = motorDriverPrice(actuators)
