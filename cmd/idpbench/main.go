@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	idpbench [-exp all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|table9a|fig9b]
+//	idpbench [-exp all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|degradation|table9a|fig9b]
 //	         [-requests N] [-seed S] [-workload NAME] [-parallel N] [-quiet]
 //	         [-trace out.jsonl] [-metrics] [-pprof out.pb.gz]
 //
@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, ablations, altpower, workloads, table9a, fig9b)")
+		exp      = flag.String("exp", "all", "experiment to run (all, table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, degradation, ablations, altpower, workloads, table9a, fig9b)")
 		requests = flag.Int("requests", experiments.DefaultConfig().Requests, "requests per workload replay")
 		seed     = flag.Int64("seed", experiments.DefaultConfig().Seed, "workload synthesis seed")
 		wl       = flag.String("workload", "", "restrict trace experiments to one workload (Financial, Websearch, TPC-C, TPC-H)")
@@ -321,6 +321,28 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 					sink.Emit(ev)
 				}
 			}
+		}
+	}
+
+	if all || exp == "degradation" {
+		ran = true
+		err := perWorkload(out, "degradation", workloads, cfg, progress, sink,
+			func(w trace.WorkloadSpec, buf *bytes.Buffer) ([]obs.Event, error) {
+				dr, err := experiments.DegradationStudy(w, cfg)
+				if err != nil {
+					return nil, err
+				}
+				experiments.WriteDegradationTable(buf, dr)
+				fmt.Fprintln(buf)
+				runs := make([]experiments.Run, len(dr.Runs))
+				for i, r := range dr.Runs {
+					runs[i] = r.Run
+				}
+				writeSnapshots(buf, runs...)
+				return collect(nil, runs...), nil
+			})
+		if err != nil {
+			return err
 		}
 	}
 

@@ -1,0 +1,44 @@
+// Degradationstudy runs the paper's §8 graceful-degradation study for
+// one workload: a healthy HC-SD-SA(4) baseline, a SMART-predicted arm
+// deconfiguration, a direct double arm fault, and a RAID-5 member death
+// rebuilt under foreground load at several chunk depths — all driven by
+// a deterministic, seed-compiled fault plan, fanned out across cores,
+// and byte-identical at any parallelism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	requests := flag.Int("requests", 20000, "requests per scenario replay")
+	seed := flag.Int64("seed", 1, "workload-synthesis and fault-plan seed")
+	name := flag.String("workload", "TPC-C", "Table 2 workload (Financial, Websearch, TPC-C, TPC-H)")
+	flag.Parse()
+
+	var spec repro.WorkloadSpec
+	found := false
+	for _, w := range repro.Workloads() {
+		if w.Name == *name {
+			spec, found = w, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+
+	cfg := repro.DefaultExperimentConfig()
+	cfg.Requests = *requests
+	cfg.Seed = *seed
+	dr, err := repro.RunDegradationStudy(spec, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	repro.WriteDegradationTable(os.Stdout, dr)
+}

@@ -11,9 +11,10 @@ import (
 // exampleArgs shrinks the long-running examples so the smoke test stays
 // CI-sized; determinism does not depend on the request count.
 var exampleArgs = map[string][]string{
-	"limitstudy": {"-requests", "5000"},
-	"lowrpm":     {"-requests", "5000"},
-	"raidarray":  {"-requests", "5000"},
+	"degradationstudy": {"-requests", "2000"},
+	"limitstudy":       {"-requests", "5000"},
+	"lowrpm":           {"-requests", "5000"},
+	"raidarray":        {"-requests", "5000"},
 }
 
 // TestExamplesDeterministic builds every program under examples/ and

@@ -117,10 +117,14 @@ func (c *Cache) InsertWrite(lba int64, sectors int) {
 	}
 	end := lba + int64(sectors)
 	// A write entirely inside one existing segment refreshes it in place:
-	// firmware updates the buffered copy rather than reallocating.
+	// firmware updates the buffered copy rather than reallocating. Any
+	// *other* segment overlapping the written range (read-ahead inserts
+	// can leave overlapping runs) still holds the pre-write data, so it
+	// must be invalidated before the return or a later read could hit it.
 	for i := range c.segs {
 		s := &c.segs[i]
 		if s.count > 0 && lba >= s.start && end <= s.start+s.count {
+			c.invalidateOverlapsExcept(lba, end, i)
 			c.clock++
 			s.used = c.clock
 			c.writeHits++
@@ -157,9 +161,15 @@ func (c *Cache) insert(lba, run int64) {
 
 // invalidateOverlaps drops or trims segments overlapping [lba, end).
 func (c *Cache) invalidateOverlaps(lba, end int64) {
+	c.invalidateOverlapsExcept(lba, end, -1)
+}
+
+// invalidateOverlapsExcept drops or trims segments overlapping
+// [lba, end), leaving segment `keep` (-1 keeps none) untouched.
+func (c *Cache) invalidateOverlapsExcept(lba, end int64, keep int) {
 	for i := range c.segs {
 		s := &c.segs[i]
-		if s.count == 0 {
+		if i == keep || s.count == 0 {
 			continue
 		}
 		sEnd := s.start + s.count

@@ -162,6 +162,38 @@ func TestWriteInvalidatesOverlaps(t *testing.T) {
 	}
 }
 
+// Regression: the refresh-in-place path used to return at the first
+// segment containing the write without invalidating *other* overlapping
+// segments, so a later read could hit a stale overlap.
+func TestWriteInPlaceInvalidatesOtherOverlaps(t *testing.T) {
+	// 2 segments of 100 sectors, read-ahead 70: two read misses leave
+	// overlapping runs.
+	c := mustNew(t, Config{
+		SizeBytes:        2 * 100 * 512,
+		SectorBytes:      512,
+		Segments:         2,
+		ReadAheadSectors: 70,
+	})
+	c.InsertRead(0, 30)  // caches [0,100)
+	c.InsertRead(80, 30) // caches [80,180): overlaps the first run on [80,100)
+	// The write lands inside both runs; [80,180) holds the lower segment
+	// index, is scanned first, and is refreshed in place — so the other
+	// run's copy of [85,90) is now stale.
+	c.InsertWrite(85, 5)
+	if _, _, wh := c.Stats(); wh != 1 {
+		t.Fatalf("writeHits = %d, want 1 (in-place refresh)", wh)
+	}
+	if c.Lookup(0, 95) {
+		t.Fatalf("read spanning the stale overlap [85,90) hit segment [0,100)")
+	}
+	if !c.Lookup(0, 80) {
+		t.Fatalf("untouched head [0,85) of the stale segment was lost")
+	}
+	if !c.Lookup(85, 5) {
+		t.Fatalf("refreshed segment no longer serves the written range")
+	}
+}
+
 func TestWriteCoveringSegmentDropsIt(t *testing.T) {
 	c := mustNew(t, smallConfig())
 	c.InsertRead(200, 4) // caches [200,212) with read-ahead

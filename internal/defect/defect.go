@@ -10,6 +10,8 @@ package defect
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Table is a grown-defect list with spare-pool remapping. The zero value
@@ -80,6 +82,24 @@ func (t *Table) Resolve(lba int64) int64 {
 		return s
 	}
 	return lba
+}
+
+// Snapshot reports the defect list on the uniform obs surface:
+// the reallocation count (the SMART attribute), refused grows after
+// spare exhaustion, and the spare-pool fill level.
+func (t *Table) Snapshot() obs.Snapshot {
+	return obs.Snapshot{
+		Device: "defects",
+		Kind:   "defect-table",
+		Counters: map[string]uint64{
+			"reallocated":     t.reallocated,
+			"spare_exhausted": t.exhaustedAdd,
+		},
+		Gauges: map[string]obs.GaugeValue{
+			"spares_used": {Value: float64(t.nextSpare), Max: float64(t.spareCount)},
+		},
+		Histograms: map[string]obs.Histogram{},
+	}
 }
 
 // Extent is a physically contiguous piece of a logical request.

@@ -1,0 +1,188 @@
+// Package fault is the deterministic fault-injection subsystem behind
+// the paper's §8 graceful-degradation story. A Spec describes a fault
+// scenario declaratively: a latent-sector-error process, SMART
+// attribute-drift onsets, actuator deconfigurations, and a whole-member
+// death with its rebuild. Compile draws the randomized elements (error
+// times and LBAs) from a caller-supplied seed and flattens everything
+// into a Plan — a time-ordered schedule of fault events. An Injector
+// then arms the plan on a simulation engine and applies each event to
+// its target component (a defect table, a SMART monitor, a parallel
+// drive, a RAID array) at the planned simulated timestamp, emitting an
+// obs span and counter for every injected fault and every degradation
+// reaction so traces show cause→effect.
+//
+// Everything is a pure function of (Spec, seed): the same inputs yield
+// the same plan, the same injections, and the same reactions at any
+// fleet parallelism.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/smart"
+)
+
+// Kind names one fault-event class.
+type Kind string
+
+// The fault-event classes a plan can carry.
+const (
+	// KindSectorError grows one media defect: the target defect table
+	// remaps the event's LBA to the spare pool.
+	KindSectorError Kind = "sector_error"
+	// KindDriftOnset starts a SMART attribute drifting toward its
+	// threshold on the event's component monitor.
+	KindDriftOnset Kind = "drift_onset"
+	// KindArmFailure deconfigures one actuator of a parallel drive.
+	KindArmFailure Kind = "arm_failure"
+	// KindMemberDeath fails one member of a RAID array (degraded mode).
+	KindMemberDeath Kind = "member_death"
+	// KindRebuildStart begins streaming the dead member's contents onto
+	// its replacement.
+	KindRebuildStart Kind = "rebuild_start"
+)
+
+// SectorErrors describes a latent-sector-error process: Count media
+// errors at seed-drawn uniform times in [StartMs, EndMs] and uniform
+// user LBAs in [0, UserSectors).
+type SectorErrors struct {
+	Count          int
+	StartMs, EndMs float64
+	UserSectors    int64
+}
+
+// Drift is one SMART attribute-drift onset: from AtMs on, the
+// component's monitor drifts Attr toward its threshold at Rate units
+// per sampling step (see smart.Monitor.BeginDegrading).
+type Drift struct {
+	AtMs      float64
+	Component int
+	Attr      smart.Attribute
+	Rate      float64
+}
+
+// ArmFault deconfigures one actuator at a fixed time — the direct form
+// of the §8 scenario, without the SMART prediction in the loop.
+type ArmFault struct {
+	AtMs float64
+	Arm  int
+}
+
+// Death is a whole-member failure: the member leaves service at AtMs
+// (the array runs degraded) and its rebuild starts at RebuildAtMs,
+// copying ChunkSectors-sized chunks with Depth chunks in flight.
+type Death struct {
+	AtMs         float64
+	Member       int
+	RebuildAtMs  float64
+	ChunkSectors int64
+	Depth        int
+}
+
+// Spec is a declarative fault scenario. Zero-valued parts inject
+// nothing, so specs compose piecemeal.
+type Spec struct {
+	SectorErrors SectorErrors
+	Drifts       []Drift
+	ArmFaults    []ArmFault
+	Death        *Death
+}
+
+// Event is one compiled fault, ready for injection. Which fields are
+// meaningful depends on Kind: LBA for sector errors; Component for
+// drifts (monitor index), arm failures (arm index) and member events
+// (member index); Attr/Rate for drifts; ChunkSectors/Depth for rebuild
+// starts.
+type Event struct {
+	AtMs         float64
+	Kind         Kind
+	LBA          int64
+	Component    int
+	Attr         smart.Attribute
+	Rate         float64
+	ChunkSectors int64
+	Depth        int
+}
+
+// Plan is a compiled, time-ordered fault schedule. Events at equal
+// timestamps keep their spec order, so a plan is a total order.
+type Plan struct {
+	Events []Event
+}
+
+// Validate reports the first problem with the spec, if any.
+func (s Spec) Validate() error {
+	se := s.SectorErrors
+	switch {
+	case se.Count < 0:
+		return fmt.Errorf("fault: SectorErrors.Count %d must be nonnegative", se.Count)
+	case se.Count > 0 && se.UserSectors <= 0:
+		return fmt.Errorf("fault: SectorErrors need positive UserSectors, got %d", se.UserSectors)
+	case se.Count > 0 && (se.StartMs < 0 || se.EndMs < se.StartMs):
+		return fmt.Errorf("fault: SectorErrors window [%v,%v] invalid", se.StartMs, se.EndMs)
+	}
+	for i, d := range s.Drifts {
+		if d.AtMs < 0 || d.Component < 0 || d.Rate <= 0 {
+			return fmt.Errorf("fault: drift %d invalid (at=%v component=%d rate=%v)",
+				i, d.AtMs, d.Component, d.Rate)
+		}
+	}
+	for i, a := range s.ArmFaults {
+		if a.AtMs < 0 || a.Arm < 0 {
+			return fmt.Errorf("fault: arm fault %d invalid (at=%v arm=%d)", i, a.AtMs, a.Arm)
+		}
+	}
+	if d := s.Death; d != nil {
+		switch {
+		case d.AtMs < 0 || d.Member < 0:
+			return fmt.Errorf("fault: death invalid (at=%v member=%d)", d.AtMs, d.Member)
+		case d.RebuildAtMs < d.AtMs:
+			return fmt.Errorf("fault: rebuild at %v precedes death at %v", d.RebuildAtMs, d.AtMs)
+		case d.ChunkSectors <= 0 || d.Depth <= 0:
+			return fmt.Errorf("fault: rebuild chunk %d / depth %d must be positive",
+				d.ChunkSectors, d.Depth)
+		}
+	}
+	return nil
+}
+
+// Compile draws the spec's randomized elements from the seed and
+// flattens the scenario into a time-ordered plan. The seed is a
+// parameter by design: every draw belongs to the experiment
+// configuration, never to ambient state, which is what keeps a study
+// byte-identical at any fleet parallelism.
+func Compile(spec Spec, seed int64) (Plan, error) {
+	if err := spec.Validate(); err != nil {
+		return Plan{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var evs []Event
+	se := spec.SectorErrors
+	for i := 0; i < se.Count; i++ {
+		evs = append(evs, Event{
+			AtMs: se.StartMs + rng.Float64()*(se.EndMs-se.StartMs),
+			Kind: KindSectorError,
+			LBA:  rng.Int63n(se.UserSectors),
+		})
+	}
+	for _, d := range spec.Drifts {
+		evs = append(evs, Event{
+			AtMs: d.AtMs, Kind: KindDriftOnset,
+			Component: d.Component, Attr: d.Attr, Rate: d.Rate,
+		})
+	}
+	for _, a := range spec.ArmFaults {
+		evs = append(evs, Event{AtMs: a.AtMs, Kind: KindArmFailure, Component: a.Arm})
+	}
+	if d := spec.Death; d != nil {
+		evs = append(evs, Event{AtMs: d.AtMs, Kind: KindMemberDeath, Component: d.Member})
+		evs = append(evs, Event{
+			AtMs: d.RebuildAtMs, Kind: KindRebuildStart,
+			Component: d.Member, ChunkSectors: d.ChunkSectors, Depth: d.Depth,
+		})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].AtMs < evs[j].AtMs })
+	return Plan{Events: evs}, nil
+}

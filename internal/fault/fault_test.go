@@ -1,0 +1,259 @@
+package fault
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/defect"
+	"repro/internal/obs"
+	"repro/internal/simkit"
+	"repro/internal/smart"
+)
+
+func sampleSpec() Spec {
+	return Spec{
+		SectorErrors: SectorErrors{Count: 16, StartMs: 100, EndMs: 5000, UserSectors: 1 << 20},
+		Drifts:       []Drift{{AtMs: 800, Component: 1, Attr: smart.SeekErrorRate, Rate: 0.001}},
+		ArmFaults:    []ArmFault{{AtMs: 2000, Arm: 3}},
+		Death:        &Death{AtMs: 3000, Member: 2, RebuildAtMs: 3500, ChunkSectors: 256, Depth: 4},
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	a, err := Compile(sampleSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(sampleSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same spec+seed compiled to different plans")
+	}
+	c, err := Compile(sampleSpec(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds drew identical sector errors")
+	}
+}
+
+func TestCompileOrdersAndBounds(t *testing.T) {
+	p, err := Compile(sampleSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 16 + 1 + 1 + 2 // errors + drift + arm + death/rebuild pair
+	if len(p.Events) != want {
+		t.Fatalf("compiled %d events, want %d", len(p.Events), want)
+	}
+	if !sort.SliceIsSorted(p.Events, func(i, j int) bool {
+		return p.Events[i].AtMs < p.Events[j].AtMs
+	}) {
+		t.Fatalf("plan events not time-ordered")
+	}
+	for _, ev := range p.Events {
+		if ev.Kind == KindSectorError {
+			if ev.AtMs < 100 || ev.AtMs > 5000 {
+				t.Fatalf("sector error at %v outside [100,5000]", ev.AtMs)
+			}
+			if ev.LBA < 0 || ev.LBA >= 1<<20 {
+				t.Fatalf("sector error lba %d outside user space", ev.LBA)
+			}
+		}
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	bad := []Spec{
+		{SectorErrors: SectorErrors{Count: -1}},
+		{SectorErrors: SectorErrors{Count: 1, UserSectors: 0}},
+		{SectorErrors: SectorErrors{Count: 1, UserSectors: 10, StartMs: 50, EndMs: 10}},
+		{Drifts: []Drift{{AtMs: 1, Component: 0, Rate: 0}}},
+		{ArmFaults: []ArmFault{{AtMs: -1, Arm: 0}}},
+		{Death: &Death{AtMs: 100, Member: 0, RebuildAtMs: 50, ChunkSectors: 1, Depth: 1}},
+		{Death: &Death{AtMs: 100, Member: 0, RebuildAtMs: 200, ChunkSectors: 0, Depth: 1}},
+	}
+	for i, s := range bad {
+		if _, err := Compile(s, 1); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// fakeTargets records arm and array calls with their simulated times.
+type fakeArms struct {
+	eng   *simkit.Engine
+	calls []struct {
+		arm int
+		at  float64
+	}
+	refuse bool
+}
+
+func (f *fakeArms) FailArm(i int) error {
+	if f.refuse {
+		return errIntentional
+	}
+	f.calls = append(f.calls, struct {
+		arm int
+		at  float64
+	}{i, f.eng.Now()})
+	return nil
+}
+
+type fakeArray struct {
+	eng      *simkit.Engine
+	failedAt float64
+	failed   int
+	rebuilt  int
+	chunk    int64
+	depth    int
+}
+
+func (f *fakeArray) FailMember(i int) error {
+	f.failed = i
+	f.failedAt = f.eng.Now()
+	return nil
+}
+
+func (f *fakeArray) Rebuild(dev int, chunk int64, depth int, onDone func(int64)) error {
+	f.rebuilt = dev
+	f.chunk = chunk
+	f.depth = depth
+	// Finish after a fixed delay, restoring a fixed sector count.
+	f.eng.After(250, func() { onDone(12345) })
+	return nil
+}
+
+var errIntentional = errInj("intentional refusal")
+
+type errInj string
+
+func (e errInj) Error() string { return string(e) }
+
+func TestInjectorAppliesPlanAtPlannedTimes(t *testing.T) {
+	eng := simkit.New()
+	dt, err := defect.NewTable(1<<20+256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := smart.NewMonitor(9, nil)
+	arms := &fakeArms{eng: eng}
+	arr := &fakeArray{eng: eng}
+	plan, err := Compile(sampleSpec(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &obs.MemorySink{}
+	inj, err := NewInjector(eng, plan, Targets{
+		Defects:  dt,
+		Monitors: []*smart.Monitor{nil, mon},
+		Arms:     arms,
+		Array:    arr,
+	}, obs.Options{Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Schedule()
+	eng.Run()
+
+	if got := dt.Reallocated(); got+inj.Refused() != 16 {
+		t.Fatalf("reallocated %d + refused %d, want 16 total", got, inj.Refused())
+	}
+	if len(arms.calls) != 1 || arms.calls[0].arm != 3 || arms.calls[0].at != 2000 {
+		t.Fatalf("arm failure calls %+v, want arm 3 at 2000", arms.calls)
+	}
+	if arr.failed != 2 || arr.failedAt != 3000 {
+		t.Fatalf("member death %d at %v, want member 2 at 3000", arr.failed, arr.failedAt)
+	}
+	if arr.rebuilt != 2 || arr.chunk != 256 || arr.depth != 4 {
+		t.Fatalf("rebuild dev=%d chunk=%d depth=%d, want 2/256/4", arr.rebuilt, arr.chunk, arr.depth)
+	}
+	if inj.CopiedSectors() != 12345 {
+		t.Fatalf("copied %d, want 12345", inj.CopiedSectors())
+	}
+	if inj.RebuildDoneMs() != 3750 {
+		t.Fatalf("rebuild done at %v, want 3750", inj.RebuildDoneMs())
+	}
+
+	// The monitor drifts only after the onset: stepping it past the
+	// threshold now must trip, proving BeginDegrading was applied.
+	for i := 0; i < 100000 && !mon.Predict(); i++ {
+		mon.Step()
+	}
+	if !mon.Predict() {
+		t.Fatalf("drift onset was not applied to the monitor")
+	}
+
+	// Spans: one fault per successful injection plus one react for the
+	// rebuild completion.
+	var faults, reacts int
+	for _, ev := range sink.Events() {
+		switch ev.Phase {
+		case obs.PhaseFault:
+			faults++
+		case obs.PhaseReact:
+			reacts++
+		}
+	}
+	if uint64(faults) != inj.Injected() {
+		t.Fatalf("%d fault spans for %d injections", faults, inj.Injected())
+	}
+	if reacts != 1 {
+		t.Fatalf("%d react spans, want 1 (rebuild completion)", reacts)
+	}
+	// Fault spans are request-less: lifecycle reconstruction must skip
+	// them rather than panic on the unknown phase.
+	if got := len(obs.Lifecycles(sink.Events())); got != 0 {
+		t.Fatalf("fault spans leaked %d lifecycles", got)
+	}
+
+	snap := inj.Snapshot()
+	if snap.Counters["rebuilds_completed"] != 1 {
+		t.Fatalf("snapshot counters %+v missing completed rebuild", snap.Counters)
+	}
+	if len(snap.Children) != 1 || snap.Children[0].Kind != "defect-table" {
+		t.Fatalf("snapshot missing defect-table child: %+v", snap.Children)
+	}
+}
+
+func TestInjectorCountsRefusals(t *testing.T) {
+	eng := simkit.New()
+	arms := &fakeArms{eng: eng, refuse: true}
+	plan, err := Compile(Spec{ArmFaults: []ArmFault{{AtMs: 10, Arm: 0}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewInjector(eng, plan, Targets{Arms: arms}, obs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Schedule()
+	eng.Run()
+	if inj.Refused() != 1 || inj.Injected() != 0 {
+		t.Fatalf("refused=%d injected=%d, want 1/0", inj.Refused(), inj.Injected())
+	}
+}
+
+func TestInjectorRejectsUnboundTargets(t *testing.T) {
+	eng := simkit.New()
+	cases := []Spec{
+		{SectorErrors: SectorErrors{Count: 1, StartMs: 0, EndMs: 1, UserSectors: 100}},
+		{Drifts: []Drift{{AtMs: 1, Component: 0, Attr: smart.SpinRetries, Rate: 1}}},
+		{ArmFaults: []ArmFault{{AtMs: 1, Arm: 0}}},
+		{Death: &Death{AtMs: 1, Member: 0, RebuildAtMs: 2, ChunkSectors: 1, Depth: 1}},
+	}
+	for i, s := range cases {
+		plan, err := Compile(s, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewInjector(eng, plan, Targets{}, obs.Options{}); err == nil {
+			t.Fatalf("case %d: unbound target accepted", i)
+		}
+	}
+}

@@ -38,6 +38,16 @@ const (
 	PhaseTransfer Phase = "transfer"
 	PhaseComplete Phase = "complete"
 	PhaseFlush    Phase = "flush"
+
+	// PhaseFault and PhaseReact are out-of-band spans: an injected
+	// hardware fault (a grown media error, an attribute-drift onset, an
+	// arm or member failure) and the degradation reaction it provoked (a
+	// SMART-driven deconfiguration, a completed rebuild). They belong to
+	// no I/O request; Lifecycles skips them the way it skips flushes, so
+	// a trace interleaves cause (fault) and effect (react) with the
+	// request spans they perturb.
+	PhaseFault Phase = "fault"
+	PhaseReact Phase = "react"
 )
 
 // Event is one span of a request's lifecycle. TMs is the span's start
@@ -175,6 +185,21 @@ func (e *Emitter) CacheHit(req uint64, durMs float64) {
 	e.Span(req, PhaseCacheHit, -1, e.clock.Now()-durMs, durMs)
 }
 
+// Fault emits an out-of-band fault-injection (PhaseFault) or
+// degradation-reaction (PhaseReact) span at the current time. Each call
+// allocates its own request id — the span belongs to no I/O request.
+// Arm carries the affected component (-1 when none); LBA and Sectors
+// describe the affected media range when the fault has one.
+func (e *Emitter) Fault(ph Phase, arm int, lba int64, sectors int) {
+	if e == nil {
+		return
+	}
+	e.sink.Emit(Event{
+		TMs: e.clock.Now(), Dev: e.dev, Req: e.NextReq(), Phase: ph,
+		Arm: arm, LBA: lba, Sectors: sectors,
+	})
+}
+
 // JSONLSink writes each event as one JSON line. Field order follows the
 // Event struct, so output is byte-deterministic for a deterministic
 // simulation. Write errors are sticky and reported by Err.
@@ -258,7 +283,8 @@ func (lc Lifecycle) PhaseSumMs() float64 {
 
 // Lifecycles reconstructs per-request decompositions from a span
 // stream, grouping by (device, request id), in first-appearance order.
-// Flush spans, which belong to no request, are skipped.
+// Flush, fault and react spans, which belong to no request, are
+// skipped.
 func Lifecycles(evs []Event) []Lifecycle {
 	type key struct {
 		dev string
@@ -267,7 +293,7 @@ func Lifecycles(evs []Event) []Lifecycle {
 	index := map[key]int{}
 	var out []Lifecycle
 	for _, ev := range evs {
-		if ev.Phase == PhaseFlush {
+		if ev.Phase == PhaseFlush || ev.Phase == PhaseFault || ev.Phase == PhaseReact {
 			continue
 		}
 		k := key{ev.Dev, ev.Req}

@@ -58,7 +58,12 @@ func (a *Array) Rebuild(dev int, chunkSectors int64, depth int, onDone func(copi
 		copied   int64
 		issue    func()
 	)
+	finished := false
 	finish := func() {
+		if finished {
+			return // a synchronous member completion already finished the sweep
+		}
+		finished = true
 		a.failed[dev] = false
 		if onDone != nil {
 			onDone(copied)
@@ -78,6 +83,30 @@ func (a *Array) Rebuild(dev int, chunkSectors int64, depth int, onDone func(copi
 			if err != nil {
 				panic(err) // layout contract violation: a simulator bug
 			}
+			// Survivor reads complete: write the rebuilt chunk to the
+			// replacement disk. This bypasses the degraded-write drop:
+			// the replacement is physically present and being refilled.
+			writeChunk := func() {
+				a.members[dev].Submit(
+					trace.Request{LBA: start, Sectors: int(n), Read: false},
+					func(float64) {
+						copied += n
+						inflight--
+						if cursor < extent {
+							issue()
+						} else if inflight == 0 {
+							finish()
+						}
+					})
+			}
+			if len(ops) == 0 {
+				// Nothing to read from the survivors (a layout may derive
+				// the chunk without I/O): go straight to the write, or the
+				// chunk would stay in flight forever and the member would
+				// never return to service.
+				writeChunk()
+				continue
+			}
 			outstanding := len(ops)
 			for _, op := range ops {
 				a.members[op.Dev].Submit(trace.Request{LBA: op.LBA, Sectors: op.Sectors, Read: true},
@@ -86,25 +115,18 @@ func (a *Array) Rebuild(dev int, chunkSectors int64, depth int, onDone func(copi
 						if outstanding != 0 {
 							return
 						}
-						// Survivor reads complete: write the rebuilt
-						// chunk to the replacement disk. This bypasses
-						// the degraded-write drop: the replacement is
-						// physically present and being refilled.
-						a.members[dev].Submit(
-							trace.Request{LBA: start, Sectors: int(n), Read: false},
-							func(float64) {
-								copied += n
-								inflight--
-								if cursor < extent {
-									issue()
-								} else if inflight == 0 {
-									finish()
-								}
-							})
+						writeChunk()
 					})
 			}
 		}
 	}
 	issue()
+	// A zero-sector extent issues no I/O at all: the sweep is trivially
+	// complete, so the member returns to service and onDone fires now —
+	// the issue loop alone would exit with inflight == 0 and leave the
+	// member marked failed forever.
+	if inflight == 0 && cursor >= extent {
+		finish()
+	}
 	return nil
 }

@@ -113,6 +113,90 @@ func TestRebuildDepthBoundsConcurrency(t *testing.T) {
 	}
 }
 
+// stubLayout is a redundant layout with a configurable member extent
+// whose Reconstruct derives chunks without any survivor I/O — the two
+// edge shapes the rebuild completion logic must survive.
+type stubLayout struct {
+	members int
+	extent  int64
+}
+
+func (s *stubLayout) Name() string                     { return "stub" }
+func (s *stubLayout) Members() int                     { return s.members }
+func (s *stubLayout) Capacity() int64                  { return s.extent }
+func (s *stubLayout) Plan(trace.Request) (Plan, error) { return Plan{}, nil }
+func (s *stubLayout) MemberExtent() int64              { return s.extent }
+func (s *stubLayout) Reconstruct(Op, int) ([]Op, error) {
+	return nil, nil
+}
+
+// Regression: a zero-sector member extent used to leave the rebuild
+// stuck forever — the issue loop exited without inflight I/O, so
+// finish() never ran, onDone never fired, and the member stayed failed.
+func TestRebuildZeroExtentCompletesImmediately(t *testing.T) {
+	lay := &stubLayout{members: 2, extent: 0}
+	eng, a, disks := fakeArray(t, lay, nil)
+	if err := a.FailMember(0); err != nil {
+		t.Fatal(err)
+	}
+	copied := int64(-1)
+	if err := a.Rebuild(0, 100, 2, func(n int64) { copied = n }); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	eng.Run()
+	if copied != 0 {
+		t.Fatalf("onDone reported %d copied sectors, want 0 (and -1 means it never fired)", copied)
+	}
+	if a.Degraded() {
+		t.Fatalf("member still failed after the trivial sweep")
+	}
+	for i, d := range disks {
+		if len(d.ops) != 0 {
+			t.Fatalf("member %d received %d ops rebuilding an empty extent", i, len(d.ops))
+		}
+	}
+}
+
+// Regression: a layout whose Reconstruct needs no survivor reads used to
+// strand every chunk — nothing ever completed to decrement inflight, so
+// the sweep hung with the member failed and onDone unreached.
+func TestRebuildCompletesWhenReconstructNeedsNoReads(t *testing.T) {
+	lay := &stubLayout{members: 2, extent: 400}
+	eng, a, disks := fakeArray(t, lay, nil)
+	if err := a.FailMember(1); err != nil {
+		t.Fatal(err)
+	}
+	var copied int64
+	doneAt := -1.0
+	eng.At(0, func() {
+		if err := a.Rebuild(1, 100, 2, func(n int64) { copied, doneAt = n, eng.Now() }); err != nil {
+			t.Errorf("Rebuild: %v", err)
+		}
+	})
+	eng.Run()
+	if doneAt < 0 {
+		t.Fatalf("rebuild never finished")
+	}
+	if copied != 400 {
+		t.Fatalf("copied %d sectors, want the full 400-sector extent", copied)
+	}
+	if a.Degraded() {
+		t.Fatalf("member still failed after rebuild")
+	}
+	if got := len(disks[0].ops); got != 0 {
+		t.Fatalf("survivor serviced %d reads, want 0 from a derive-only layout", got)
+	}
+	writes := 0
+	for _, op := range disks[1].ops {
+		if !op.Read {
+			writes++
+		}
+	}
+	if writes != 4 {
+		t.Fatalf("replacement received %d writes, want 4 chunks", writes)
+	}
+}
+
 func TestForegroundFlowsDuringRebuild(t *testing.T) {
 	r5, _ := NewRAID5(4, 1000, 10)
 	eng, a, _ := fakeArray(t, r5, nil)

@@ -219,6 +219,8 @@ func NewSentry(eng *simkit.Engine, monitors []*Monitor, periodMs float64, onPred
 }
 
 // Start schedules the polling loop until `untilMs` of simulated time.
+// No tick ever fires after untilMs: the first poll is guarded exactly
+// like every re-arm, so a period longer than the deadline polls never.
 func (s *Sentry) Start(untilMs float64) {
 	var tick func()
 	tick = func() {
@@ -236,7 +238,9 @@ func (s *Sentry) Start(untilMs float64) {
 			s.eng.After(s.periodMs, tick)
 		}
 	}
-	s.eng.After(s.periodMs, tick)
+	if s.eng.Now()+s.periodMs <= untilMs {
+		s.eng.After(s.periodMs, tick)
+	}
 }
 
 // Stop halts polling.

@@ -113,6 +113,35 @@ func TestSentryFiresOncePerComponent(t *testing.T) {
 	}
 }
 
+// Regression: a period longer than the deadline must poll zero times —
+// the first tick used to be scheduled unconditionally, so the sentry
+// stepped its monitors once at periodMs > untilMs, violating the
+// untilMs contract.
+func TestSentryRespectsDeadlineShorterThanPeriod(t *testing.T) {
+	eng := simkit.New()
+	m := NewMonitor(5, nil)
+	if err := m.BeginDegrading(SpinRetries, 100); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	s, err := NewSentry(eng, []*Monitor{m}, 100, func(int) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Reading(SpinRetries)
+	s.Start(50) // deadline before the first possible tick
+	eng.Run()
+	if fired != 0 {
+		t.Fatalf("sentry fired %d times past its %v ms deadline", fired, 50.0)
+	}
+	if eng.Now() > 50 {
+		t.Fatalf("sentry advanced the clock to %v, past its deadline 50", eng.Now())
+	}
+	if got := m.Reading(SpinRetries); got != before {
+		t.Fatalf("monitor stepped past the deadline: reading %v -> %v", before, got)
+	}
+}
+
 func TestSentryStop(t *testing.T) {
 	eng := simkit.New()
 	m := NewMonitor(4, nil)

@@ -32,6 +32,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/drpm"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/power"
@@ -220,12 +221,25 @@ func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConf
 
 // Experiment drivers, one per table/figure group; see internal/experiments.
 var (
-	RunLimitStudy    = experiments.LimitStudy    // Figures 2-3
-	RunBottleneck    = experiments.Bottleneck    // Figure 4
-	RunMultiActuator = experiments.MultiActuator // Figure 5
-	RunReducedRPM    = experiments.ReducedRPM    // Figures 6-7
-	RunRAIDStudy     = experiments.RAIDStudy     // Figure 8
+	RunLimitStudy       = experiments.LimitStudy       // Figures 2-3
+	RunBottleneck       = experiments.Bottleneck       // Figure 4
+	RunMultiActuator    = experiments.MultiActuator    // Figure 5
+	RunReducedRPM       = experiments.ReducedRPM       // Figures 6-7
+	RunRAIDStudy        = experiments.RAIDStudy        // Figure 8
+	RunDegradationStudy = experiments.DegradationStudy // §8 fault study
 )
+
+// DegradationResult is one workload's §8 graceful-degradation study.
+type DegradationResult = experiments.DegradationResult
+
+// DegradationRun is one degradation scenario's measurement.
+type DegradationRun = experiments.DegradationRun
+
+// WriteDegradationTable renders a degradation study as text.
+var WriteDegradationTable = experiments.WriteDegradationTable
+
+// DefaultDegradationDepths returns the rebuild depths the study sweeps.
+var DefaultDegradationDepths = experiments.DefaultDegradationDepths
 
 // ---------------------------------------------------------------------
 // Observability (internal/obs).
@@ -313,6 +327,39 @@ func NewSMARTMonitor(seed int64, thresholds map[SMARTAttribute]float64) *SMARTMo
 // NewSMARTSentry builds a sentry polling the monitors every periodMs.
 func NewSMARTSentry(eng *Engine, monitors []*SMARTMonitor, periodMs float64, onPredict func(int)) (*SMARTSentry, error) {
 	return smart.NewSentry(eng, monitors, periodMs, onPredict)
+}
+
+// FaultSpec declaratively describes a fault scenario: latent sector
+// errors, SMART attribute-drift onsets, actuator deconfigurations, and
+// a whole-member death with its rebuild (internal/fault).
+type FaultSpec = fault.Spec
+
+// Fault-scenario building blocks for FaultSpec.
+type (
+	FaultSectorErrors = fault.SectorErrors
+	FaultDrift        = fault.Drift
+	FaultArm          = fault.ArmFault
+	FaultDeath        = fault.Death
+)
+
+// FaultPlan is a compiled, time-ordered fault schedule.
+type FaultPlan = fault.Plan
+
+// CompileFaults draws a spec's randomized elements from the seed and
+// flattens the scenario into a deterministic plan.
+var CompileFaults = fault.Compile
+
+// FaultTargets binds each fault class to the component it acts on.
+type FaultTargets = fault.Targets
+
+// FaultInjector arms a compiled plan on an engine and applies each
+// event at its planned simulated timestamp.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector validates the plan's targets and builds an injector;
+// call Schedule before running the engine.
+func NewFaultInjector(eng *Engine, plan FaultPlan, targets FaultTargets, ob ObsOptions) (*FaultInjector, error) {
+	return fault.NewInjector(eng, plan, targets, ob)
 }
 
 // ThermalEnvelope is the steady-state drive thermal model that motivates
