@@ -1,0 +1,344 @@
+// Command idpload is the deterministic load generator and correctness
+// checker for idpserved. It derives a fixed mix of distinct what-if
+// configs from a seed, fires n concurrent queries drawn round-robin
+// from the mix, then re-fetches every config serially and verifies
+// each successful storm response was byte-identical to the serial
+// ground truth — the serving layer (cache, singleflight, shedding)
+// must never change an answer, only its latency.
+//
+// It exits non-zero on any incorrect body, unexpected status, or
+// unmet assertion (-min-hit-rate, -min-collapsed, -expect-shed), so
+// CI can use it as a smoke gate:
+//
+//	idpload -url http://127.0.0.1:8080 -n 1000 -distinct 10 \
+//	        -requests 2000 -min-hit-rate 0.8 -min-collapsed 1
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		url          = flag.String("url", "http://127.0.0.1:8080", "idpserved base URL")
+		n            = flag.Int("n", 1000, "total queries in the storm")
+		concurrency  = flag.Int("concurrency", 32, "concurrent in-flight requests")
+		distinct     = flag.Int("distinct", 10, "distinct configs in the mix")
+		seed         = flag.Int64("seed", 1, "base seed for the config mix")
+		requests     = flag.Int("requests", 2000, "simulated requests per query")
+		reps         = flag.Int("reps", 1, "replicates per query")
+		warm         = flag.Bool("warm", false, "serially prefetch each config before the storm")
+		waitReady    = flag.Duration("wait-ready", 30*time.Second, "max time to wait for /healthz")
+		minHitRate   = flag.Float64("min-hit-rate", -1, "fail if client-observed cache hit rate is below this (-1 = off)")
+		minCollapsed = flag.Int64("min-collapsed", 0, "fail if the server collapsed fewer queries than this during the storm")
+		expectShed   = flag.Bool("expect-shed", false, "expect 429s (overload run); without this any 429 is a failure")
+	)
+	flag.Parse()
+	if err := run(loadConfig{
+		url: *url, n: *n, concurrency: *concurrency, distinct: *distinct,
+		seed: *seed, requests: *requests, reps: *reps, warm: *warm,
+		waitReady: *waitReady, minHitRate: *minHitRate,
+		minCollapsed: *minCollapsed, expectShed: *expectShed,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "idpload: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+type loadConfig struct {
+	url          string
+	n            int
+	concurrency  int
+	distinct     int
+	seed         int64
+	requests     int
+	reps         int
+	warm         bool
+	waitReady    time.Duration
+	minHitRate   float64
+	minCollapsed int64
+	expectShed   bool
+}
+
+// mix derives the deterministic config mix: distinct queries varying
+// workload, actuator count, arrival-rate multiplier, seed, and fault
+// schedule — the shape of a real capacity-planning sweep.
+func mix(c loadConfig) []serve.Query {
+	workloads := []string{"Financial", "Websearch", "TPC-C", "TPC-H"}
+	actuators := []int{1, 2, 4}
+	scales := []float64{1, 1.25, 1.5, 2}
+	out := make([]serve.Query, c.distinct)
+	for i := range out {
+		q := serve.Query{WhatIfQuery: experiments.WhatIfQuery{
+			Workload:     workloads[i%len(workloads)],
+			Actuators:    actuators[i%len(actuators)],
+			ArrivalScale: scales[i%len(scales)],
+			Requests:     c.requests,
+			Seed:         c.seed + int64(i),
+			Reps:         c.reps,
+		}}
+		if i%2 == 1 && q.Actuators > 1 {
+			q.ArmFaults = []experiments.WhatIfArmFault{{AtFrac: 0.5, Arm: i % q.Actuators}}
+		}
+		out[i] = q
+	}
+	return out
+}
+
+type reply struct {
+	cfg       int
+	status    int
+	hit       bool
+	bodyHash  [32]byte
+	latencyMs float64
+}
+
+func run(c loadConfig) error {
+	client := &http.Client{Timeout: 5 * time.Minute}
+	if err := waitHealthy(client, c.url, c.waitReady); err != nil {
+		return err
+	}
+	queries := mix(c)
+	payloads := make([][]byte, len(queries))
+	for i, q := range queries {
+		data, err := json.Marshal(q)
+		if err != nil {
+			return err
+		}
+		payloads[i] = data
+	}
+	statsBefore, err := fetchStats(client, c.url)
+	if err != nil {
+		return err
+	}
+
+	if c.warm {
+		for i := range queries {
+			if _, _, _, _, err := post(client, c.url, payloads[i]); err != nil {
+				return fmt.Errorf("warming config %d: %w", i, err)
+			}
+		}
+	}
+
+	// The storm: n queries round-robin over the mix, concurrency-wide.
+	jobs := make(chan int)
+	replies := make([]reply, c.n)
+	var retries atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < c.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cfg := j % len(queries)
+				start := time.Now()
+				var status int
+				var hit bool
+				var body []byte
+				var err error
+				for attempt := 0; ; attempt++ {
+					var retryAfter int
+					status, hit, body, retryAfter, err = post(client, c.url, payloads[cfg])
+					// In a normal (non-overload) run a 429 is the server
+					// asking this client to back off; honor Retry-After a
+					// bounded number of times before calling it a failure.
+					if err == nil && status == http.StatusTooManyRequests && !c.expectShed && attempt < maxRetries {
+						retries.Add(1)
+						time.Sleep(backoff(retryAfter))
+						continue
+					}
+					break
+				}
+				if err != nil {
+					// Transport failure: record status 0 (counted as
+					// unexpected below) and keep draining the queue.
+					fmt.Fprintf(os.Stderr, "idpload: query %d (config %d): %v\n", j, cfg, err)
+					replies[j] = reply{cfg: cfg}
+					continue
+				}
+				replies[j] = reply{
+					cfg: cfg, status: status, hit: hit,
+					bodyHash:  sha256.Sum256(body),
+					latencyMs: float64(time.Since(start)) / float64(time.Millisecond),
+				}
+			}
+		}()
+	}
+	stormStart := time.Now()
+	for j := 0; j < c.n; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	stormSecs := time.Since(stormStart).Seconds()
+
+	statsAfter, err := fetchStats(client, c.url)
+	if err != nil {
+		return err
+	}
+
+	// Serial ground truth: with the storm over, fetch each config once
+	// and require every admitted storm response to match its bytes.
+	truth := make([][32]byte, len(queries))
+	for i := range queries {
+		status, _, body, _, err := post(client, c.url, payloads[i])
+		if err != nil {
+			return fmt.Errorf("ground truth config %d: %w", i, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("ground truth config %d: status %d", i, status)
+		}
+		var res serve.Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			return fmt.Errorf("ground truth config %d: not a Result: %w", i, err)
+		}
+		truth[i] = sha256.Sum256(body)
+	}
+
+	var ok, hits, shed, mismatched, unexpected int
+	latencies := make([]float64, 0, c.n)
+	for j, r := range replies {
+		switch {
+		case r.status == http.StatusOK:
+			ok++
+			if r.hit {
+				hits++
+			}
+			latencies = append(latencies, r.latencyMs)
+			if r.bodyHash != truth[r.cfg] {
+				mismatched++
+				if mismatched <= 3 {
+					fmt.Fprintf(os.Stderr, "idpload: query %d (config %d): body differs from serial ground truth\n", j, r.cfg)
+				}
+			}
+		case r.status == http.StatusTooManyRequests && c.expectShed:
+			shed++
+		default:
+			unexpected++
+			if unexpected <= 3 {
+				fmt.Fprintf(os.Stderr, "idpload: query %d (config %d): unexpected status %d\n", j, r.cfg, r.status)
+			}
+		}
+	}
+
+	hitRate := 0.0
+	if ok > 0 {
+		hitRate = float64(hits) / float64(ok)
+	}
+	collapsed := int64(statsAfter.Collapsed - statsBefore.Collapsed)
+	fmt.Printf("idpload: %d queries over %d configs in %.1fs (%.0f qps, concurrency %d)\n",
+		c.n, len(queries), stormSecs, float64(c.n)/stormSecs, c.concurrency)
+	fmt.Printf("idpload: ok=%d shed=%d mismatched=%d unexpected=%d retries=%d\n",
+		ok, shed, mismatched, unexpected, retries.Load())
+	fmt.Printf("idpload: client hit rate %.1f%%; server: computed=%d collapsed=%d shed=%d errors=%d\n",
+		hitRate*100,
+		statsAfter.Computed-statsBefore.Computed, collapsed,
+		statsAfter.Shed-statsBefore.Shed, statsAfter.Errors-statsBefore.Errors)
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		fmt.Printf("idpload: latency ms p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+			pct(latencies, 0.50), pct(latencies, 0.90), pct(latencies, 0.99), latencies[len(latencies)-1])
+	}
+
+	switch {
+	case mismatched > 0:
+		return fmt.Errorf("%d responses differed from serial ground truth", mismatched)
+	case unexpected > 0:
+		return fmt.Errorf("%d responses had unexpected statuses", unexpected)
+	case statsAfter.Errors != statsBefore.Errors:
+		return fmt.Errorf("server reported %d errors during the storm", statsAfter.Errors-statsBefore.Errors)
+	case c.expectShed && shed == 0:
+		return fmt.Errorf("expected shedding but saw no 429s")
+	case c.minHitRate >= 0 && hitRate < c.minHitRate:
+		return fmt.Errorf("hit rate %.3f below required %.3f", hitRate, c.minHitRate)
+	case collapsed < c.minCollapsed:
+		return fmt.Errorf("server collapsed %d queries, required >= %d", collapsed, c.minCollapsed)
+	}
+	fmt.Println("idpload: PASS")
+	return nil
+}
+
+func pct(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// maxRetries bounds how often a normal-mode worker re-asks after a
+// 429 before counting it as a failure.
+const maxRetries = 10
+
+// backoff converts a Retry-After value into a client sleep, capped so
+// a conservative server estimate doesn't stall the storm.
+func backoff(retryAfterSecs int) time.Duration {
+	d := time.Duration(retryAfterSecs) * time.Second
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	return d
+}
+
+func post(client *http.Client, base string, payload []byte) (status int, hit bool, body []byte, retryAfter int, err error) {
+	resp, err := client.Post(base+"/v1/query", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, false, nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, false, nil, 0, err
+	}
+	retryAfter, _ = strconv.Atoi(resp.Header.Get("Retry-After"))
+	return resp.StatusCode, resp.Header.Get("X-Idp-Cache") == "hit", bytes.TrimSpace(body), retryAfter, nil
+}
+
+func fetchStats(client *http.Client, base string) (serve.Stats, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return serve.Stats{}, err
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return serve.Stats{}, fmt.Errorf("decoding /v1/stats: %w", err)
+	}
+	return st, nil
+}
+
+func waitHealthy(client *http.Client, base string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s", base, patience)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -114,6 +114,8 @@ func TestIsSimPackage(t *testing.T) {
 		{"repro/internal/analysis", true, false},
 		{"repro/internal/fleet", false, true},
 		{"repro/internal/obs", false, true},
+		{"repro/internal/serve", false, true},
+		{"repro/internal/experiments", true, false},
 		{"repro/cmd/idpbench", false, true},
 		{"repro/examples/quickstart", false, false},
 		{"fmt", false, false},

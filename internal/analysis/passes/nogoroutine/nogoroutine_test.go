@@ -11,5 +11,6 @@ func TestNoGoroutine(t *testing.T) {
 	analysistest.Run(t, "testdata", nogoroutine.Analyzer,
 		"repro/internal/sched", // simulation package: go + sync flagged
 		"repro/internal/fleet", // the orchestrator: same code allowed
+		"repro/internal/serve", // the serving shell: pools + locks allowed
 	)
 }

@@ -1,0 +1,29 @@
+// Fixture: internal/serve is shell code — the HTTP serving layer may
+// run a worker pool, guard its cache with locks, and select on request
+// contexts, because it only orchestrates deterministic simulations.
+// None of these uses are flagged.
+package serve
+
+import "sync"
+
+type pool struct {
+	mu    sync.Mutex
+	queue chan func()
+	hits  int
+}
+
+func (p *pool) start(workers int) {
+	for i := 0; i < workers; i++ {
+		go func() {
+			for job := range p.queue {
+				job()
+			}
+		}()
+	}
+}
+
+func (p *pool) hit() {
+	p.mu.Lock()
+	p.hits++
+	p.mu.Unlock()
+}

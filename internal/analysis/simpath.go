@@ -11,6 +11,9 @@ import "strings"
 //   - internal/fleet owns all parallelism (SplitMix64 seed derivation,
 //     ordered merges);
 //   - internal/obs may timestamp profiles and guard sinks;
+//   - internal/serve is the HTTP serving layer (worker pools, request
+//     contexts, caches) — it orchestrates deterministic simulations
+//     but never computes inside one;
 //   - cmd/* and examples/* are process entry points (flag parsing,
 //     file I/O, progress meters).
 //
@@ -20,6 +23,7 @@ import "strings"
 var shellPackages = map[string]bool{
 	"repro/internal/fleet": true,
 	"repro/internal/obs":   true,
+	"repro/internal/serve": true,
 }
 
 // IsSimPackage reports whether the package at path is simulation code,

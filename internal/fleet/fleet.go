@@ -55,8 +55,16 @@ type Options struct {
 
 	// Progress, when non-nil, is called after every job completes with
 	// the number of jobs finished so far, the total, and the name of the
-	// job that just finished. Calls are serialized; done reaches total
-	// exactly once on a fully successful fan-out.
+	// job that just finished.
+	//
+	// The hook is invoked from worker goroutines, but calls are
+	// serialized under a dedicated mutex (decoupled from result
+	// recording), done is strictly increasing, and it reaches total
+	// exactly once on a fully successful fan-out — so a hook may feed an
+	// HTTP response stream or any other consumer without its own
+	// locking. A hook that blocks stalls only progress reporting, never
+	// result collection, but it should still return promptly (use a
+	// buffered or non-blocking send when bridging to a slow consumer).
 	Progress func(done, total int, job string)
 }
 
@@ -88,10 +96,14 @@ func Run[T any](jobs []Job[T], opts Options) ([]T, error) {
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
+	// Each worker writes only its own job's slots in results/errs, so
+	// result recording needs no lock; progMu serializes the progress
+	// hook alone, keeping a slow hook from ever delaying completion
+	// bookkeeping or failure cancellation.
 	var (
-		mu   sync.Mutex
-		done int
-		errs = make([]error, len(jobs))
+		progMu sync.Mutex
+		done   int
+		errs   = make([]error, len(jobs))
 	)
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
@@ -104,18 +116,18 @@ func Run[T any](jobs []Job[T], opts Options) ([]T, error) {
 					continue // drain: pool abandoned, skip unstarted jobs
 				}
 				res, err := runJob(ctx, jobs[i], DeriveSeed(opts.BaseSeed, i))
-				mu.Lock()
 				if err != nil {
 					errs[i] = err
 					cancel()
 				} else {
 					results[i] = res
 				}
+				progMu.Lock()
 				done++
 				if opts.Progress != nil {
 					opts.Progress(done, len(jobs), jobs[i].Name)
 				}
-				mu.Unlock()
+				progMu.Unlock()
 			}
 		}()
 	}

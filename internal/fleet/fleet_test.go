@@ -179,3 +179,66 @@ func TestWriterProgress(t *testing.T) {
 		t.Fatalf("got %q, want %q", got, want)
 	}
 }
+
+// TestRunProgressStreamsToConsumer bridges the progress hook to a
+// consumer goroutine the way an HTTP streaming handler does: the hook
+// performs a plain channel send with no locking of its own. The
+// serialized-calls contract must make this race-free (the race detector
+// checks) and deliver every event with done strictly increasing, even
+// when the consumer is slower than the workers.
+func TestRunProgressStreamsToConsumer(t *testing.T) {
+	jobs := squareJobs(32)
+	type ev struct {
+		done, total int
+		job         string
+	}
+	events := make(chan ev, 4) // small buffer: workers outpace the consumer
+	var got []ev
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for e := range events {
+			got = append(got, e)
+		}
+	}()
+	_, err := Run(jobs, Options{
+		Parallelism: 8,
+		Progress: func(done, total int, job string) {
+			events <- ev{done, total, job}
+		},
+	})
+	close(events)
+	<-consumed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 32 {
+		t.Fatalf("consumer saw %d events, want 32", len(got))
+	}
+	for i, e := range got {
+		if e.done != i+1 || e.total != 32 {
+			t.Fatalf("event %d = (%d,%d), want done strictly increasing", i, e.done, e.total)
+		}
+	}
+}
+
+// TestRunProgressReportsFailedJobs pins that failures still count as
+// completed work: a consumer tracking done/total sees the fan-out
+// finish even when some jobs error.
+func TestRunProgressReportsFailedJobs(t *testing.T) {
+	jobs := []Job[int]{
+		{Name: "ok", Run: func(context.Context, int64) (int, error) { return 1, nil }},
+		{Name: "boom", Run: func(context.Context, int64) (int, error) { return 0, errors.New("boom") }},
+	}
+	calls := 0
+	_, err := Run(jobs, Options{
+		Parallelism: 1,
+		Progress:    func(done, total int, job string) { calls++ },
+	})
+	if err == nil {
+		t.Fatal("want error from failing job")
+	}
+	if calls != 2 {
+		t.Fatalf("progress called %d times, want 2 (failures report too)", calls)
+	}
+}

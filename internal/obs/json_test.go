@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testSnapshot() Snapshot {
+	h := NewHistogram([]float64{0.5, 1, 2})
+	h.Observe(0.25)
+	h.Observe(1.5)
+	h.Observe(9)
+	return Snapshot{
+		Device:    "sa4",
+		Kind:      "parallel-drive",
+		Submitted: 100,
+		Completed: 99,
+		CacheHits: 7,
+		Queue:     QueueStats{Len: 1, Max: 12},
+		Counters:  map[string]uint64{"zeta": 3, "alpha": 1, "mid": 2},
+		Gauges: map[string]GaugeValue{
+			"watts": {Value: 12.75, Max: 13.5},
+			"arms":  {Value: 4, Max: 4},
+		},
+		Histograms: map[string]Histogram{"seek_ms": h.Clone()},
+		Children: []Snapshot{
+			{Device: "arm0", Kind: "actuator", Submitted: 50, Completed: 50, BackgroundCompleted: 3},
+			{Device: "arm1", Kind: "actuator", Submitted: 50, Completed: 49},
+		},
+	}
+}
+
+// TestMarshalSnapshotCanonical pins the canonical form: repeated
+// marshals are byte-identical (map iteration order never leaks), keys
+// come out sorted, empties are omitted, floats use the documented
+// shortest 'g' format.
+func TestMarshalSnapshotCanonical(t *testing.T) {
+	s := testSnapshot()
+	a, err := MarshalSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		b, err := MarshalSnapshot(s.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("marshals differ:\n%s\n%s", a, b)
+		}
+	}
+	got := string(a)
+	if i, j := strings.Index(got, `"alpha"`), strings.Index(got, `"zeta"`); i < 0 || j < 0 || i > j {
+		t.Errorf("counter keys not sorted in %s", got)
+	}
+	if strings.Contains(got, "background_completed\":0") {
+		t.Errorf("zero background_completed not omitted: %s", got)
+	}
+	if !strings.Contains(got, `"value":12.75`) {
+		t.Errorf("float not in shortest 'g' form: %s", got)
+	}
+	// The childless children must not appear as empty arrays.
+	if strings.Contains(got, "[]") || strings.Contains(got, "{}") {
+		t.Errorf("empty composites emitted: %s", got)
+	}
+}
+
+// TestMarshalSnapshotRoundTrip checks the canonical bytes parse back
+// into an equal tree, and that re-marshaling the parsed tree reproduces
+// the bytes exactly.
+func TestMarshalSnapshotRoundTrip(t *testing.T) {
+	s := testSnapshot()
+	data, err := MarshalSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeEmpties(s), normalizeEmpties(back)) {
+		t.Errorf("round trip changed the snapshot:\n%+v\nvs\n%+v", s, back)
+	}
+	again, err := MarshalSnapshot(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Errorf("re-marshal differs:\n%s\n%s", data, again)
+	}
+}
+
+// normalizeEmpties maps nil and empty maps to nil so DeepEqual compares
+// content, not the nil/empty distinction JSON cannot express.
+func normalizeEmpties(s Snapshot) Snapshot {
+	if len(s.Counters) == 0 {
+		s.Counters = nil
+	}
+	if len(s.Gauges) == 0 {
+		s.Gauges = nil
+	}
+	if len(s.Histograms) == 0 {
+		s.Histograms = nil
+	}
+	for i := range s.Children {
+		s.Children[i] = normalizeEmpties(s.Children[i])
+	}
+	return s
+}
+
+// TestMarshalSnapshotNonFinite: NaN and Inf have no canonical form and
+// must error rather than emit invalid JSON.
+func TestMarshalSnapshotNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		s := Snapshot{Device: "d", Kind: "k", Gauges: map[string]GaugeValue{"g": {Value: v}}}
+		if _, err := MarshalSnapshot(s); err == nil {
+			t.Errorf("MarshalSnapshot with gauge %v: want error, got nil", v)
+		}
+	}
+}

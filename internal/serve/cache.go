@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: cache key →
+// serialized answer body. Because a key captures everything an answer
+// depends on (normalized query, code version) and the simulator is
+// deterministic, an entry never goes stale — eviction exists only to
+// bound memory, so a plain LRU over a bounded entry count suffices.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // key → element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(maxEntries int) *resultCache {
+	return &resultCache{
+		max:     maxEntries,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key, refreshing its recency. The
+// returned slice is shared and must not be mutated.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entries
+// over capacity.
+func (c *resultCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// A call is one in-flight computation of a query's answer. All
+// requests for the same key while it runs share the one call
+// (singleflight): the first becomes the leader and computes; the rest
+// attach as waiters. The call's context is canceled when every waiter
+// has detached, so a query nobody is waiting for anymore stops burning
+// workers — the cancellation propagates through fleet.Run into the
+// simulation's arrival loop.
+type call struct {
+	key string
+	q   Query
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	done chan struct{} // closed when body/err are final
+	body []byte
+	err  error
+
+	refs int // waiter count, guarded by flightGroup.mu
+
+	// progress fans fleet progress events out to streaming waiters.
+	progress progressFan
+}
+
+// progressEvent is one fleet progress report, relayed to stream
+// subscribers.
+type progressEvent struct {
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Job   string `json:"job"`
+}
+
+// progressFan broadcasts progress events to subscribers without ever
+// blocking the worker: a subscriber whose buffer is full misses events
+// (progress is advisory; the result line is authoritative).
+type progressFan struct {
+	mu   sync.Mutex
+	subs []chan progressEvent
+}
+
+func (f *progressFan) subscribe() chan progressEvent {
+	ch := make(chan progressEvent, 32)
+	f.mu.Lock()
+	f.subs = append(f.subs, ch)
+	f.mu.Unlock()
+	return ch
+}
+
+func (f *progressFan) unsubscribe(ch chan progressEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, s := range f.subs {
+		if s == ch {
+			f.subs = append(f.subs[:i], f.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (f *progressFan) broadcast(ev progressEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ch := range f.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall the fan-out
+		}
+	}
+}
+
+// flightGroup deduplicates concurrent computations by cache key.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*call)}
+}
+
+// join returns the call computing key, creating it when none is in
+// flight. leader reports whether the caller must execute the call (and
+// eventually finish it); either way the caller holds one reference and
+// must detach when done waiting.
+func (g *flightGroup) join(base context.Context, key string, q Query) (c *call, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		c.refs++
+		return c, false
+	}
+	ctx, cancel := context.WithCancel(base)
+	c = &call{key: key, q: q, ctx: ctx, cancel: cancel, done: make(chan struct{}), refs: 1}
+	g.calls[key] = c
+	return c, true
+}
+
+// detach drops one waiter reference. When the last waiter leaves
+// before the call finishes, the call's context is canceled so the
+// computation aborts promptly.
+func (g *flightGroup) detach(c *call) {
+	g.mu.Lock()
+	c.refs--
+	abandoned := c.refs == 0
+	g.mu.Unlock()
+	if abandoned {
+		c.cancel()
+	}
+}
+
+// finish records the call's outcome, removes it from the group (later
+// requests hit the cache or start fresh), and wakes every waiter.
+func (g *flightGroup) finish(c *call, body []byte, err error) {
+	g.mu.Lock()
+	delete(g.calls, c.key)
+	g.mu.Unlock()
+	c.body, c.err = body, err
+	close(c.done)
+	c.cancel() // release the context's resources
+}
