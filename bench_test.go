@@ -180,9 +180,11 @@ func BenchmarkFigure7ReducedRPMCDF(b *testing.B) {
 func BenchmarkFigure8RAIDArrays(b *testing.B) {
 	var save2, save4 float64
 	for i := 0; i < b.N; i++ {
-		rs, err := experiments.RAIDStudyWith(benchConfig(),
-			[]int{2, 4, 8, 16}, []int{1, 2, 4},
-			[]workload.Intensity{workload.Heavy})
+		rs, err := experiments.RunRAIDStudy(benchConfig(), experiments.RAIDStudyOpts{
+			DiskCounts:  []int{2, 4, 8, 16},
+			Families:    []int{1, 2, 4},
+			Intensities: []workload.Intensity{workload.Heavy},
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -208,6 +210,39 @@ func BenchmarkFigure8RAIDArrays(b *testing.B) {
 	}
 	b.ReportMetric(save2*100, "SA2-power-saving-%")
 	b.ReportMetric(save4*100, "SA4-power-saving-%")
+}
+
+// BenchmarkPartitionedRAID runs the 64-drive partitioned-array scale
+// scenario (experiments.LPRAID) on the conservative windowed engine,
+// sequentially (one worker) and with a worker per core. The simulated
+// results are byte-identical between the two — only wall-clock time may
+// differ, and only when cores are available: ns/op of par vs seq IS the
+// measured speedup on the machine running the benchmark. The
+// avg-busy-LPs metric is the engine-invariant parallelism actually
+// available per synchronization window (so the speedup ceiling), which
+// a single-core CI box reports identically to a 64-core one.
+func BenchmarkPartitionedRAID(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 1},
+		{"par", runtime.GOMAXPROCS(0)},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			var r *experiments.LPRAIDResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = experiments.LPRAID(benchConfig(), experiments.LPRAIDOpts{Workers: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Resp.Percentile(90), "p90-ms")
+			b.ReportMetric(float64(r.BusyLPs)/float64(r.Windows), "avg-busy-LPs")
+		})
+	}
 }
 
 // BenchmarkTable9aCosts regenerates Table 9a's drive material costs.

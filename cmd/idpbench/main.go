@@ -4,14 +4,22 @@
 //
 // Usage:
 //
-//	idpbench [-exp all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|degradation|table9a|fig9b]
-//	         [-requests N] [-seed S] [-workload NAME] [-parallel N] [-quiet]
+//	idpbench [-exp all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|degradation|lpraid|table9a|fig9b]
+//	         [-requests N] [-seed S] [-workload NAME] [-parallel N] [-lpparallel] [-quiet]
 //	         [-trace out.jsonl] [-metrics] [-pprof out.pb.gz]
 //
 // Independent simulations fan out across -parallel workers (default: all
 // cores) through internal/fleet; every table is buffered per section and
 // printed in canonical order, so the output is byte-identical at any
 // parallelism level. Progress is reported on stderr.
+//
+// -lpparallel additionally parallelizes *within* each simulation: jobs
+// run on the partitioned engine (internal/simkit/par) instead of the
+// sequential one. Single-timeline studies execute on one logical process
+// (inline, byte-identical by construction); the lpraid scenario — a
+// 64-drive partitioned array, the one simulation too wide for a single
+// event loop — runs its member timelines on all cores. Output bytes are
+// identical with and without the flag; only wall-clock time changes.
 //
 // With -trace, every simulated request's lifecycle span events
 // (submit/queue/seek/rotate/transfer/complete, with actuator ids) are
@@ -39,11 +47,12 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, degradation, ablations, altpower, workloads, table9a, fig9b)")
+		exp      = flag.String("exp", "all", "experiment to run (all, table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, degradation, lpraid, ablations, altpower, workloads, table9a, fig9b)")
 		requests = flag.Int("requests", experiments.DefaultConfig().Requests, "requests per workload replay")
 		seed     = flag.Int64("seed", experiments.DefaultConfig().Seed, "workload synthesis seed")
 		wl       = flag.String("workload", "", "restrict trace experiments to one workload (Financial, Websearch, TPC-C, TPC-H)")
 		parallel = flag.Int("parallel", 0, "worker-pool size for independent simulations (0 = GOMAXPROCS)")
+		lppar    = flag.Bool("lpparallel", false, "run each simulation on the partitioned engine (byte-identical output)")
 		quiet    = flag.Bool("quiet", false, "suppress per-section progress on stderr")
 		traceOut = flag.String("trace", "", "write request-lifecycle span events to this JSONL file")
 		metrics  = flag.Bool("metrics", false, "append device statistics snapshots to each section")
@@ -73,6 +82,7 @@ func main() {
 		Requests:    *requests,
 		Seed:        *seed,
 		Parallelism: *parallel,
+		LPParallel:  *lppar,
 		Observe:     experiments.Observe{Trace: *traceOut != "", Metrics: *metrics},
 	}
 
@@ -320,6 +330,25 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 				for _, ev := range p.Events {
 					sink.Emit(ev)
 				}
+			}
+		}
+	}
+
+	if all || exp == "lpraid" {
+		ran = true
+		lr, err := experiments.LPRAID(cfg, experiments.LPRAIDOpts{})
+		if err != nil {
+			return err
+		}
+		experiments.WriteLPRAID(out, lr)
+		fmt.Fprintln(out)
+		if cfg.Observe.Metrics && lr.Snap != nil {
+			obs.WriteText(out, *lr.Snap)
+			fmt.Fprintln(out)
+		}
+		if sink != nil {
+			for _, ev := range lr.Events {
+				sink.Emit(ev)
 			}
 		}
 	}

@@ -6,12 +6,24 @@
 //	idpsim -workload Websearch -system sa4 [-requests N] [-seed S] [-rpm R]
 //	idpsim -replay file.trc -system hcsd
 //	idpsim -system sa4 -trace out.jsonl -metrics
+//	idpsim -system raid64 -lpparallel
 //
 // Systems:
 //
 //	md     the workload's original multi-disk array (Table 2)
 //	hcsd   the single 750 GB high-capacity drive
 //	saN    the intra-disk parallel drive HC-SD-SA(N), e.g. sa2, sa4
+//	raidN  a partitioned RAID-0 of N HC-SD drives: the controller and
+//	       every member simulate on their own logical process
+//	       (internal/simkit/par), coupled through links whose latency is
+//	       the engine's conservative lookahead
+//
+// -lpparallel moves the simulation to the partitioned engine. For md,
+// hcsd and saN it runs on one logical process — byte-identical to the
+// sequential engine by construction. For raidN, which always uses the
+// partitioned engine, the flag turns the worker pool on (all cores)
+// instead of simulating the processes one at a time; the output is
+// byte-identical either way, only wall-clock time changes.
 //
 // Observability:
 //
@@ -30,12 +42,15 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/disk"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/raid"
 	"repro/internal/simkit"
+	"repro/internal/simkit/par"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -44,10 +59,11 @@ func main() {
 	var (
 		wl       = flag.String("workload", "Websearch", "workload name (Financial, Websearch, TPC-C, TPC-H)")
 		replay   = flag.String("replay", "", "replay a trace file instead of synthesizing a workload")
-		system   = flag.String("system", "hcsd", "storage system: md, hcsd, or saN (e.g. sa4)")
+		system   = flag.String("system", "hcsd", "storage system: md, hcsd, saN (e.g. sa4), or raidN (e.g. raid64)")
 		requests = flag.Int("requests", 100000, "requests to synthesize")
 		seed     = flag.Int64("seed", 1, "workload synthesis seed")
 		rpm      = flag.Float64("rpm", 0, "override drive RPM (reduced-RPM designs)")
+		lppar    = flag.Bool("lpparallel", false, "simulate on the partitioned engine (byte-identical output)")
 		traceOut = flag.String("trace", "", "write request-lifecycle span events to this JSONL file")
 		metrics  = flag.Bool("metrics", false, "print the device statistics snapshot after the run")
 		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
@@ -68,13 +84,13 @@ func main() {
 			f.Close()
 		}()
 	}
-	if err := run(*wl, *replay, *system, *requests, *seed, *rpm, *traceOut, *metrics); err != nil {
+	if err := run(*wl, *replay, *system, *requests, *seed, *rpm, *traceOut, *metrics, *lppar); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, replayFile, system string, requests int, seed int64, rpm float64, traceOut string, metrics bool) error {
+func run(wl, replayFile, system string, requests int, seed int64, rpm float64, traceOut string, metrics, lppar bool) error {
 	spec, err := trace.WorkloadByName(wl)
 	if err != nil {
 		return err
@@ -108,7 +124,14 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 		sink = jsonl
 	}
 
-	eng := simkit.New()
+	// The single-timeline systems run on one logical process of the
+	// partitioned engine when -lpparallel is set — byte-identical to the
+	// sequential engine by construction (see simkit/par). raidN below
+	// builds its own multi-LP engine.
+	var eng simkit.Runner = simkit.New()
+	if lppar {
+		eng = par.New(1, par.Options{Workers: 1}).Runner(0)
+	}
 	label := system
 	var resp *stats.Sample
 	var powerOf func(elapsed float64) string
@@ -161,6 +184,45 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 		powerOf = func(e float64) string { return experiments.WriteBreakdownBar(d.Power(e)) }
 		label = fmt.Sprintf("HC-SD-SA(%d) on %s", n, model.Name)
 		instrumented = d
+
+	case strings.HasPrefix(system, "raid"):
+		n, err := strconv.Atoi(strings.TrimPrefix(system, "raid"))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad system %q: want raidN with N >= 1", system)
+		}
+		model := hcsdModel(rpm)
+		probeEng := simkit.New()
+		probe, err := disk.New(probeEng, model, disk.Options{})
+		if err != nil {
+			return err
+		}
+		layout, err := raid.NewRAID0(n, probe.Capacity(), experiments.StripeUnitSectors)
+		if err != nil {
+			return err
+		}
+		workers := 1
+		if lppar {
+			workers = 0 // par default: all cores
+		}
+		pe := par.New(n+1, par.Options{Workers: workers})
+		arr, err := raid.NewPartitioned(pe, layout, bus.DefaultLink(), int64(model.Geom.SectorBytes),
+			func(s simkit.Scheduler, i int) (device.Device, error) {
+				return disk.New(s, model, disk.Options{
+					Obs: obs.Options{Sink: sink, Name: fmt.Sprintf("raid%d/m%d", n, i)},
+				})
+			})
+		if err != nil {
+			return err
+		}
+		if tr, err = experiments.HCSDTrace(spec, tr); err != nil {
+			return err
+		}
+		eng = pe.Runner(0)
+		resp = experiments.Replay(eng, arr, tr)
+		powerOf = func(e float64) string { return experiments.WriteBreakdownBar(arr.Power(e)) }
+		label = fmt.Sprintf("RAID-0 x%d %s (partitioned: %d LPs, %d sync windows)",
+			n, model.Name, pe.NumLPs(), pe.Windows())
+		instrumented = arr
 
 	default:
 		return fmt.Errorf("unknown system %q", system)

@@ -116,6 +116,12 @@ func TestIsSimPackage(t *testing.T) {
 		{"repro/internal/obs", false, true},
 		{"repro/internal/serve", false, true},
 		{"repro/internal/experiments", true, false},
+		// The partitioned engine is the one sim package allowed to use
+		// concurrency; the allowance covers exactly it, not its parent
+		// or children.
+		{"repro/internal/simkit", true, false},
+		{"repro/internal/simkit/par", true, true},
+		{"repro/internal/simkit/par/sub", true, false},
 		{"repro/cmd/idpbench", false, true},
 		{"repro/examples/quickstart", false, false},
 		{"fmt", false, false},

@@ -5,6 +5,13 @@
 // primitive anywhere else introduces scheduling nondeterminism the
 // fleet cannot launder, so both are flagged outside internal/fleet,
 // internal/obs, and cmd/*.
+//
+// The one sanctioned concurrency user inside the simulation boundary
+// is internal/simkit/par: its conservative synchronized-window
+// protocol merges cross-process events in a canonical order, so its
+// results are byte-identical at any worker count — determinism by
+// protocol rather than by merge. Every other determinism pass still
+// applies to it.
 package nogoroutine
 
 import (
@@ -22,8 +29,9 @@ var concurrencyImports = map[string]bool{
 
 var Analyzer = &analysis.Analyzer{
 	Name: "nogoroutine",
-	Doc: "forbid go statements and sync primitives outside internal/fleet, internal/obs, and cmd/*; " +
-		"all parallelism must flow through the fleet orchestrator",
+	Doc: "forbid go statements and sync primitives outside internal/fleet, internal/obs, internal/serve, " +
+		"cmd/*, and the partitioned engine internal/simkit/par; all other parallelism must flow through " +
+		"the fleet orchestrator",
 	Run: run,
 }
 

@@ -9,8 +9,10 @@ import (
 
 func TestNoGoroutine(t *testing.T) {
 	analysistest.Run(t, "testdata", nogoroutine.Analyzer,
-		"repro/internal/sched", // simulation package: go + sync flagged
-		"repro/internal/fleet", // the orchestrator: same code allowed
-		"repro/internal/serve", // the serving shell: pools + locks allowed
+		"repro/internal/sched",      // simulation package: go + sync flagged
+		"repro/internal/fleet",      // the orchestrator: same code allowed
+		"repro/internal/serve",      // the serving shell: pools + locks allowed
+		"repro/internal/simkit",     // the sequential engine: still confined
+		"repro/internal/simkit/par", // the partitioned engine: windows may fan out
 	)
 }

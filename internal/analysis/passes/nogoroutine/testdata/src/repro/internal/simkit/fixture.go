@@ -1,0 +1,13 @@
+// Fixture: the par allowance does not leak to its parent — simkit
+// itself is an ordinary simulation package, so concurrency in it is
+// still flagged.
+package simkit
+
+func bad(f func()) {
+	done := make(chan struct{})
+	go func() { // want `go statement`
+		f()
+		close(done)
+	}()
+	<-done
+}

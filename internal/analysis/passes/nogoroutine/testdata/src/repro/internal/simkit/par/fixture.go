@@ -1,0 +1,20 @@
+// Fixture: internal/simkit/par is the one concurrency user inside the
+// simulation boundary — its synchronized-window protocol is
+// byte-deterministic at any worker count, so its goroutines and sync
+// primitives pass. (Its parent simkit, and every other sim package,
+// stays fully confined: see the sched fixture.)
+package par
+
+import "sync"
+
+func window(lps []func()) {
+	var wg sync.WaitGroup
+	for _, lp := range lps {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lp()
+		}()
+	}
+	wg.Wait()
+}

@@ -41,7 +41,16 @@ func IsSimPackage(path string) bool {
 
 // MayUseConcurrency reports whether the package at path is allowed to
 // use go statements and sync primitives. Parallelism must otherwise
-// flow through internal/fleet so determinism-by-merge is preserved.
+// flow through internal/fleet so determinism-by-merge is preserved —
+// with one sanctioned exception inside the simulation boundary:
+// internal/simkit/par, the conservative partitioned engine, whose
+// synchronized-window protocol is byte-deterministic at any worker
+// count (proved by its worker-count cross-check tests). par stays a
+// sim package for every other invariant — wallclock, maporder,
+// globalrand all still apply to it.
 func MayUseConcurrency(path string) bool {
+	if path == "repro/internal/simkit/par" {
+		return true
+	}
 	return shellPackages[path] || strings.HasPrefix(path, "repro/cmd/")
 }

@@ -19,7 +19,7 @@ import (
 
 // Bus is a FIFO-arbitrated shared link.
 type Bus struct {
-	eng         *simkit.Engine
+	eng         simkit.Scheduler
 	bytesPerMs  float64
 	overheadMs  float64
 	busyUntilMs float64
@@ -30,7 +30,7 @@ type Bus struct {
 
 // New builds a bus with the given bandwidth (MB/s) and per-transfer
 // arbitration overhead (ms).
-func New(eng *simkit.Engine, bandwidthMBps, overheadMs float64) (*Bus, error) {
+func New(eng simkit.Scheduler, bandwidthMBps, overheadMs float64) (*Bus, error) {
 	if bandwidthMBps <= 0 {
 		return nil, fmt.Errorf("bus: bandwidth %v must be positive", bandwidthMBps)
 	}

@@ -96,8 +96,8 @@ func TestBackgroundCacheHitPath(t *testing.T) {
 	if hits != 1 {
 		t.Fatalf("background cache-hit request did not complete")
 	}
-	if d.CacheHits() != 1 {
-		t.Fatalf("CacheHits = %d", d.CacheHits())
+	if d.Snapshot().CacheHits != 1 {
+		t.Fatalf("CacheHits = %d", d.Snapshot().CacheHits)
 	}
 }
 

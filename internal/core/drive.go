@@ -154,7 +154,7 @@ type arm struct {
 type ParallelDrive struct {
 	model disk.Model
 	cfg   Config
-	eng   *simkit.Engine
+	eng   simkit.Scheduler
 	geo   *geom.Geometry
 	curve *mech.SeekCurve
 	rot   *mech.Rotation
@@ -202,8 +202,10 @@ type ParallelDrive struct {
 
 var _ device.Device = (*ParallelDrive)(nil)
 
-// New attaches a parallel drive built from the base model to the engine.
-func New(eng *simkit.Engine, model disk.Model, cfg Config) (*ParallelDrive, error) {
+// New attaches a parallel drive built from the base model to the
+// scheduler — the sequential engine or one logical process of the
+// partitioned engine.
+func New(eng simkit.Scheduler, model disk.Model, cfg Config) (*ParallelDrive, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -263,7 +265,7 @@ func New(eng *simkit.Engine, model disk.Model, cfg Config) (*ParallelDrive, erro
 		rotScale:  device.NormalizeScale(cfg.RotScale),
 
 		name:     name,
-		em:       eng.Emitter(cfg.Obs.Sink, name),
+		em:       simkit.Emitter(eng, cfg.Obs.Sink, name),
 		reg:      reg,
 		gBgDepth: reg.Gauge("bg_queue_len"),
 		hSeek:    reg.Histogram("seek_ms", obs.PhaseEdgesMs),
@@ -297,7 +299,7 @@ func New(eng *simkit.Engine, model disk.Model, cfg Config) (*ParallelDrive, erro
 
 // NewSA builds the paper's HC-SD-SA(n) design point on the given base
 // model: n actuators, single arm in motion, single channel, SPTF.
-func NewSA(eng *simkit.Engine, model disk.Model, n int) (*ParallelDrive, error) {
+func NewSA(eng simkit.Scheduler, model disk.Model, n int) (*ParallelDrive, error) {
 	return New(eng, model, Config{Actuators: n})
 }
 
@@ -313,19 +315,6 @@ func (d *ParallelDrive) Model() disk.Model { return d.model }
 
 // Capacity reports the drive's size in sectors.
 func (d *ParallelDrive) Capacity() int64 { return d.geo.TotalSectors() }
-
-// Completed reports how many requests have finished.
-func (d *ParallelDrive) Completed() uint64 { return d.completed }
-
-// CacheHits reports how many reads were served from the buffer.
-func (d *ParallelDrive) CacheHits() uint64 { return d.cacheHits }
-
-// MaxQueue reports the dispatch queue's high-water mark (see
-// obs.QueueStats for the precise definition).
-func (d *ParallelDrive) MaxQueue() int { return int(d.qDepth.Max()) }
-
-// QueueLen reports the current dispatch queue length.
-func (d *ParallelDrive) QueueLen() int { return d.queue.Len() }
 
 // Actuators reports the configured arm-assembly count.
 func (d *ParallelDrive) Actuators() int { return d.cfg.Actuators }

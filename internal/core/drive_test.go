@@ -126,8 +126,8 @@ func TestSA1EquivalentToConventionalDrive(t *testing.T) {
 				i, respConv[i], respPar[i])
 		}
 	}
-	if conv.CacheHits() != par.CacheHits() {
-		t.Fatalf("cache hits differ: %d vs %d", conv.CacheHits(), par.CacheHits())
+	if conv.Snapshot().CacheHits != par.Snapshot().CacheHits {
+		t.Fatalf("cache hits differ: %d vs %d", conv.Snapshot().CacheHits, par.Snapshot().CacheHits)
 	}
 	// Power accounting must agree too.
 	bc := conv.Power(engA.Now())
@@ -204,9 +204,9 @@ func TestAllArmsShareWork(t *testing.T) {
 		}
 		total += n
 	}
-	if total+d.CacheHits() != d.Completed() {
+	if total+d.Snapshot().CacheHits != d.Snapshot().Completed {
 		t.Fatalf("per-arm sum %d + cache hits %d != completed %d",
-			total, d.CacheHits(), d.Completed())
+			total, d.Snapshot().CacheHits, d.Snapshot().Completed)
 	}
 }
 
@@ -324,8 +324,8 @@ func TestMultiArmMotionCompletesAllWork(t *testing.T) {
 			t.Fatalf("request %d never completed under multi-arm motion", i)
 		}
 	}
-	if d.Completed() != uint64(len(tr)) {
-		t.Fatalf("completed %d of %d", d.Completed(), len(tr))
+	if d.Snapshot().Completed != uint64(len(tr)) {
+		t.Fatalf("completed %d of %d", d.Snapshot().Completed, len(tr))
 	}
 }
 
@@ -410,8 +410,8 @@ func TestCacheHitPathMatchesConventional(t *testing.T) {
 		})
 	})
 	eng.Run()
-	if d.CacheHits() != 1 {
-		t.Fatalf("CacheHits = %d, want 1", d.CacheHits())
+	if d.Snapshot().CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", d.Snapshot().CacheHits)
 	}
 	if math.Abs(second-smallModel().CacheHitMs) > 1e-9 {
 		t.Fatalf("cache hit latency %v", second)

@@ -73,7 +73,7 @@ type pending struct {
 // simulation engine.
 type Drive struct {
 	model  Model
-	eng    *simkit.Engine
+	eng    simkit.Scheduler
 	geo    *geom.Geometry
 	curve  *mech.SeekCurve
 	rot    *mech.Rotation
@@ -116,8 +116,9 @@ type Drive struct {
 
 var _ device.Device = (*Drive)(nil)
 
-// New attaches a new drive built from model to the engine.
-func New(eng *simkit.Engine, model Model, opts Options) (*Drive, error) {
+// New attaches a new drive built from model to the scheduler — the
+// sequential engine or one logical process of the partitioned engine.
+func New(eng simkit.Scheduler, model Model, opts Options) (*Drive, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -163,7 +164,7 @@ func New(eng *simkit.Engine, model Model, opts Options) (*Drive, error) {
 		rotScale:  device.NormalizeScale(opts.RotScale),
 
 		name:        name,
-		em:          eng.Emitter(opts.Obs.Sink, name),
+		em:          simkit.Emitter(eng, opts.Obs.Sink, name),
 		reg:         reg,
 		gDirty:      reg.Gauge("dirty_writes"),
 		cFlushes:    reg.Counter("flushes"),
@@ -194,19 +195,6 @@ func (d *Drive) Capacity() int64 {
 // DefectHops reports how many requests needed extra extents because of
 // grown-defect remapping.
 func (d *Drive) DefectHops() uint64 { return d.cDefectHops.Value() }
-
-// Completed reports how many requests have finished.
-func (d *Drive) Completed() uint64 { return d.completed }
-
-// CacheHits reports how many reads were served from the buffer.
-func (d *Drive) CacheHits() uint64 { return d.cacheHits }
-
-// MaxQueue reports the dispatch queue's high-water mark (see
-// obs.QueueStats for the precise definition).
-func (d *Drive) MaxQueue() int { return int(d.qDepth.Max()) }
-
-// QueueLen reports the current dispatch queue length.
-func (d *Drive) QueueLen() int { return d.queue.Len() }
 
 // Busy reports whether the drive is servicing a request.
 func (d *Drive) Busy() bool { return d.busy }
@@ -465,7 +453,14 @@ func (d *Drive) buildCostFn() func(pending) float64 {
 	}
 }
 
-// Drain runs the engine until every submitted request has completed.
+// Drain runs the event loop until every submitted request has
+// completed. The drive's scheduler must own its event loop (the
+// sequential Engine or a partitioned LP's Runner); a bare logical
+// process cannot drain the simulation from inside one window.
 func (d *Drive) Drain() {
-	d.eng.Run()
+	r, ok := d.eng.(interface{ Run() })
+	if !ok {
+		panic("disk: Drain needs a scheduler that owns the event loop")
+	}
+	r.Run()
 }

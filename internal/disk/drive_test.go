@@ -113,8 +113,8 @@ func TestSingleRequestServiceTime(t *testing.T) {
 	if doneAt < min || doneAt > max {
 		t.Fatalf("service time %v outside [%v, %v]", doneAt, min, max)
 	}
-	if d.Completed() != 1 {
-		t.Fatalf("Completed = %d, want 1", d.Completed())
+	if d.Snapshot().Completed != 1 {
+		t.Fatalf("Completed = %d, want 1", d.Snapshot().Completed)
 	}
 }
 
@@ -132,8 +132,8 @@ func TestCacheHitIsFast(t *testing.T) {
 		})
 	})
 	eng.Run()
-	if d.CacheHits() != 1 {
-		t.Fatalf("CacheHits = %d, want 1", d.CacheHits())
+	if d.Snapshot().CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", d.Snapshot().CacheHits)
 	}
 	if math.Abs(second-m.CacheHitMs) > 1e-9 {
 		t.Fatalf("cache hit latency %v, want %v", second, m.CacheHitMs)
@@ -157,7 +157,7 @@ func TestWritesAlwaysGoToMedia(t *testing.T) {
 		})
 	})
 	eng.Run()
-	if d.CacheHits() != 0 {
+	if d.Snapshot().CacheHits != 0 {
 		t.Fatalf("a write was served from cache")
 	}
 	if reread <= m.CacheHitMs {
@@ -172,7 +172,7 @@ func TestWrittenDataReadableFromCache(t *testing.T) {
 	eng.At(0, func() {
 		d.Submit(trace.Request{LBA: 9000, Sectors: 8, Read: false}, func(float64) {
 			d.Submit(trace.Request{LBA: 9000, Sectors: 8, Read: true}, func(float64) {
-				hits = d.CacheHits()
+				hits = d.Snapshot().CacheHits
 			})
 		})
 	})
@@ -194,8 +194,8 @@ func TestSequentialStreamHitsReadAhead(t *testing.T) {
 		})
 	}
 	eng.Run()
-	if d.CacheHits() < 6 {
-		t.Fatalf("sequential stream got only %d cache hits", d.CacheHits())
+	if d.Snapshot().CacheHits < 6 {
+		t.Fatalf("sequential stream got only %d cache hits", d.Snapshot().CacheHits)
 	}
 }
 
@@ -360,11 +360,11 @@ func TestQueueHighWaterMark(t *testing.T) {
 		}
 	})
 	eng.Run()
-	if d.MaxQueue() < 9 {
-		t.Fatalf("MaxQueue = %d, want >= 9", d.MaxQueue())
+	if d.Snapshot().Queue.Max < 9 {
+		t.Fatalf("MaxQueue = %d, want >= 9", d.Snapshot().Queue.Max)
 	}
-	if d.QueueLen() != 0 {
-		t.Fatalf("queue not drained: %d", d.QueueLen())
+	if d.Snapshot().Queue.Len != 0 {
+		t.Fatalf("queue not drained: %d", d.Snapshot().Queue.Len)
 	}
 	if d.Busy() {
 		t.Fatalf("drive busy after drain")
@@ -390,8 +390,8 @@ func TestAllRequestsComplete(t *testing.T) {
 	if completions != n {
 		t.Fatalf("%d of %d requests completed", completions, n)
 	}
-	if d.Completed() != n {
-		t.Fatalf("Completed() = %d, want %d", d.Completed(), n)
+	if d.Snapshot().Completed != n {
+		t.Fatalf("Completed() = %d, want %d", d.Snapshot().Completed, n)
 	}
 }
 
@@ -591,7 +591,7 @@ func TestSerpentineGeometryDriveEndToEnd(t *testing.T) {
 	if done != 300 {
 		t.Fatalf("completed %d of 300 on serpentine layout", done)
 	}
-	if d.CacheHits() == 0 {
+	if d.Snapshot().CacheHits == 0 {
 		t.Fatalf("sequential stream got no cache hits on serpentine layout")
 	}
 }

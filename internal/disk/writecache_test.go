@@ -37,7 +37,7 @@ func TestWriteBackDataReadableImmediately(t *testing.T) {
 	eng.At(0, func() {
 		d.Submit(trace.Request{LBA: 9000, Sectors: 8, Read: false}, func(float64) {
 			d.Submit(trace.Request{LBA: 9000, Sectors: 8, Read: true}, func(float64) {
-				hits = d.CacheHits()
+				hits = d.Snapshot().CacheHits
 			})
 		})
 	})

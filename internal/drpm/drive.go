@@ -92,7 +92,7 @@ type pending struct {
 type Drive struct {
 	model disk.Model
 	cfg   Config
-	eng   *simkit.Engine
+	eng   simkit.Scheduler
 	geo   *geom.Geometry
 	curve *mech.SeekCurve
 	rots  []*mech.Rotation // one per level
@@ -118,7 +118,7 @@ type Drive struct {
 var _ device.Device = (*Drive)(nil)
 
 // New attaches a DRPM drive built from the base model.
-func New(eng *simkit.Engine, model disk.Model, cfg Config) (*Drive, error) {
+func New(eng simkit.Scheduler, model disk.Model, cfg Config) (*Drive, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -191,12 +191,6 @@ func (d *Drive) LevelRPM() float64 { return d.cfg.Levels[d.level] }
 
 // Transitions reports how many level changes have occurred.
 func (d *Drive) Transitions() uint64 { return d.transitions }
-
-// Completed reports finished requests.
-func (d *Drive) Completed() uint64 { return d.completed }
-
-// CacheHits reports buffer-served reads.
-func (d *Drive) CacheHits() uint64 { return d.cacheHits }
 
 // Capacity reports the drive's size in sectors.
 func (d *Drive) Capacity() int64 { return d.geo.TotalSectors() }

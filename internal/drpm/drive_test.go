@@ -203,8 +203,8 @@ func TestCacheHitsBypassSpindle(t *testing.T) {
 	if hitLatency <= 0 || hitLatency > 1 {
 		t.Fatalf("cache hit latency %v at low RPM", hitLatency)
 	}
-	if d.CacheHits() != 1 {
-		t.Fatalf("CacheHits = %d", d.CacheHits())
+	if d.Snapshot().CacheHits != 1 {
+		t.Fatalf("CacheHits = %d", d.Snapshot().CacheHits)
 	}
 }
 

@@ -3,7 +3,6 @@ package experiments
 import (
 	"repro/internal/disk"
 	"repro/internal/drpm"
-	"repro/internal/simkit"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -41,7 +40,7 @@ func AltPower(spec trace.WorkloadSpec, cfg Config) (*AltPowerResult, error) {
 	out.HCSD = *base
 
 	// DRPM drive with the classic ladder.
-	eng := simkit.New()
+	eng := jobEngine(cfg.LPParallel)
 	dd, err := drpm.New(eng, disk.BarracudaES(), drpm.Config{
 		Levels: []float64{7200, 6200, 5200, 4200},
 	})
@@ -67,7 +66,7 @@ func AltPower(spec trace.WorkloadSpec, cfg Config) (*AltPowerResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sa, err := saRunOnStream(ss, 4, 5200, cfg.Observe)
+	sa, err := saRunOnStream(ss, 4, 5200, cfg)
 	if err != nil {
 		return nil, err
 	}

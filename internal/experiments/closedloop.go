@@ -18,7 +18,7 @@ import (
 //
 // gen produces the i-th request of a client's stream; its ArrivalMs is
 // ignored. The returned sample holds per-request response times.
-func ReplayClosed(eng *simkit.Engine, dev device.Device, clients, totalRequests int,
+func ReplayClosed(eng simkit.Runner, dev device.Device, clients, totalRequests int,
 	thinkMs float64, gen func(client, seq int) trace.Request) (*stats.Sample, error) {
 	if clients <= 0 {
 		return nil, fmt.Errorf("experiments: clients %d must be positive", clients)

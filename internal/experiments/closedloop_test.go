@@ -70,8 +70,8 @@ func TestReplayClosedSelfLimits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d.MaxQueue() > 1 {
-		t.Fatalf("single closed-loop client queued %d deep", d.MaxQueue())
+	if d.Snapshot().Queue.Max > 1 {
+		t.Fatalf("single closed-loop client queued %d deep", d.Snapshot().Queue.Max)
 	}
 	// Worst-case raw service on this model is ~overhead + full stroke +
 	// a revolution ≈ 26 ms; anything above that means queueing leaked in.

@@ -110,7 +110,7 @@ func hcsdTotalSectors(spec trace.WorkloadSpec) (int64, error) {
 
 // degradationRun assembles the common measurement of one scenario.
 func degradationRun(label string, dev device.Device, resp *stats.Sample,
-	eng *simkit.Engine, sink *obs.MemorySink, inj *fault.Injector, ob Observe) DegradationRun {
+	eng simkit.Scheduler, sink *obs.MemorySink, inj *fault.Injector, ob Observe) DegradationRun {
 	r := DegradationRun{Run: Run{
 		Label:     label,
 		Resp:      resp,
@@ -179,7 +179,7 @@ func RunDegradationStudy(spec trace.WorkloadSpec, cfg Config, depths []int) (*De
 
 	jobs := []fleet.Job[DegradationRun]{
 		{Name: spec.Name + "/degradation/healthy", Run: func(context.Context, int64) (DegradationRun, error) {
-			eng := simkit.New()
+			eng := jobEngine(cfg.LPParallel)
 			sink := cfg.Observe.sink()
 			d, err := core.New(eng, disk.BarracudaES(), core.Config{
 				Actuators: degradationArms, Obs: sinkOptions(sink, "healthy"),
@@ -197,7 +197,7 @@ func RunDegradationStudy(spec trace.WorkloadSpec, cfg Config, depths []int) (*De
 			return r, nil
 		}},
 		{Name: spec.Name + "/degradation/smart", Run: func(context.Context, int64) (DegradationRun, error) {
-			eng := simkit.New()
+			eng := jobEngine(cfg.LPParallel)
 			sink := cfg.Observe.sink()
 			d, err := core.New(eng, disk.BarracudaES(), core.Config{
 				Actuators: degradationArms, Obs: sinkOptions(sink, "smart-deconfig"),
@@ -244,7 +244,7 @@ func RunDegradationStudy(spec trace.WorkloadSpec, cfg Config, depths []int) (*De
 			return r, nil
 		}},
 		{Name: spec.Name + "/degradation/arm-fault-x2", Run: func(context.Context, int64) (DegradationRun, error) {
-			eng := simkit.New()
+			eng := jobEngine(cfg.LPParallel)
 			sink := cfg.Observe.sink()
 			d, err := core.New(eng, disk.BarracudaES(), core.Config{
 				Actuators: degradationArms, Obs: sinkOptions(sink, "arm-fault-x2"),
@@ -281,7 +281,7 @@ func RunDegradationStudy(spec trace.WorkloadSpec, cfg Config, depths []int) (*De
 		jobs = append(jobs, fleet.Job[DegradationRun]{
 			Name: fmt.Sprintf("%s/degradation/%s", spec.Name, label),
 			Run: func(context.Context, int64) (DegradationRun, error) {
-				eng := simkit.New()
+				eng := jobEngine(cfg.LPParallel)
 				sink := cfg.Observe.sink()
 				dt, err := defect.NewTable(per+degradationSpareSectors, degradationSpareSectors)
 				if err != nil {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/raid"
 	"repro/internal/simkit"
+	"repro/internal/simkit/par"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -38,6 +39,17 @@ type Config struct {
 
 	// Observe selects what each run records beyond its samples.
 	Observe Observe
+
+	// LPParallel swaps each job's simulation substrate from the
+	// sequential simkit.Engine to a single logical process of the
+	// partitioned par.Engine. The windowed runtime preserves the
+	// (at, seq) firing order exactly, so every figure, trace, and
+	// snapshot is byte-identical either way — the flag exists to run
+	// the whole evaluation through the partitioned runtime. The
+	// genuinely multi-LP decomposition is the partitioned RAID
+	// scenario (LPRAID), whose member links carry real latency to
+	// supply the conservative lookahead.
+	LPParallel bool
 }
 
 // Observe selects the observability outputs of an experiment run. Both
@@ -94,6 +106,18 @@ func sinkOptions(sink *obs.MemorySink, name string) obs.Options {
 // DefaultConfig returns the standard experiment scale.
 func DefaultConfig() Config { return Config{Requests: 150000, Seed: 1} }
 
+// jobEngine builds one job's private simulation substrate: the
+// sequential engine, or (LP-parallel mode) one logical process of a
+// partitioned engine. A single-LP partitioned engine runs the window
+// loop inline — no goroutines — and fires the identical (at, seq)
+// order, so the choice never changes a result byte.
+func jobEngine(lpParallel bool) simkit.Runner {
+	if lpParallel {
+		return par.New(1, par.Options{Workers: 1}).Runner(0)
+	}
+	return simkit.New()
+}
+
 // Validate reports the first problem with the config, if any.
 func (c Config) Validate() error {
 	if c.Requests <= 0 {
@@ -134,7 +158,7 @@ func (r *Run) ResponseCDF() []float64 { return r.Resp.ResponseCDF() }
 
 // Replay submits every request of the trace at its arrival time and runs
 // the simulation to completion, returning the response-time sample.
-func Replay(eng *simkit.Engine, dev device.Device, tr trace.Trace) *stats.Sample {
+func Replay(eng simkit.Runner, dev device.Device, tr trace.Trace) *stats.Sample {
 	return ReplayStream(eng, dev, tr.Stream())
 }
 
@@ -144,7 +168,7 @@ func Replay(eng *simkit.Engine, dev device.Device, tr trace.Trace) *stats.Sample
 // scale (4-6M requests per workload) this is what keeps a parallel
 // fan-out's memory flat: jobs stream straight from a trace.Generator and
 // never materialize multi-million-entry traces or event queues.
-func ReplayStream(eng *simkit.Engine, dev device.Device, s trace.Stream) *stats.Sample {
+func ReplayStream(eng simkit.Runner, dev device.Device, s trace.Stream) *stats.Sample {
 	resp := &stats.Sample{}
 	cur, ok := s.Next()
 	if !ok {
@@ -194,7 +218,7 @@ type MDSystem struct {
 // NewMDSystem builds the MD array for a workload on the engine. The obs
 // hookup is shared by every member: each drive traces into ob.Sink
 // labeled "md0", "md1", ... (a nil sink costs nothing).
-func NewMDSystem(eng *simkit.Engine, spec trace.WorkloadSpec, ob obs.Options) (*MDSystem, error) {
+func NewMDSystem(eng simkit.Scheduler, spec trace.WorkloadSpec, ob obs.Options) (*MDSystem, error) {
 	model, err := MDDriveModel(spec)
 	if err != nil {
 		return nil, err
@@ -301,7 +325,7 @@ func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) 
 
 	jobs := []fleet.Job[Run]{
 		{Name: spec.Name + "/MD", Run: func(context.Context, int64) (Run, error) {
-			eng := simkit.New()
+			eng := jobEngine(cfg.LPParallel)
 			sink := cfg.Observe.sink()
 			md, err := NewMDSystem(eng, spec, sinkOptions(sink, ""))
 			if err != nil {
@@ -324,7 +348,7 @@ func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) 
 			}, nil
 		}},
 		{Name: spec.Name + "/HC-SD", Run: func(context.Context, int64) (Run, error) {
-			eng := simkit.New()
+			eng := jobEngine(cfg.LPParallel)
 			rot := &stats.Sample{}
 			sink := cfg.Observe.sink()
 			hc, err := disk.New(eng, disk.BarracudaES(), disk.Options{
@@ -400,7 +424,7 @@ func Bottleneck(spec trace.WorkloadSpec, cfg Config) (*BottleneckResult, error) 
 		jobs[i] = fleet.Job[Run]{
 			Name: spec.Name + "/" + sc.Label,
 			Run: func(context.Context, int64) (Run, error) {
-				eng := simkit.New()
+				eng := jobEngine(cfg.LPParallel)
 				sink := cfg.Observe.sink()
 				d, err := disk.New(eng, disk.BarracudaES(), disk.Options{
 					SeekScale: sc.SeekScale,
@@ -445,19 +469,20 @@ func SARun(spec trace.WorkloadSpec, cfg Config, actuators int, rpm float64) (*Ru
 	if err != nil {
 		return nil, err
 	}
-	return saRunOnStream(s, actuators, rpm, cfg.Observe)
+	return saRunOnStream(s, actuators, rpm, cfg)
 }
 
 // saRunOnStream builds the SA(n) drive and replays a prepared stream.
-func saRunOnStream(s trace.Stream, actuators int, rpm float64, ob Observe) (*Run, error) {
+func saRunOnStream(s trace.Stream, actuators int, rpm float64, cfg Config) (*Run, error) {
 	model := disk.BarracudaES()
 	label := fmt.Sprintf("HC-SD-SA(%d)", actuators)
 	if rpm > 0 && rpm != model.RPM {
 		model = model.WithRPM(rpm)
 		label = fmt.Sprintf("SA(%d)/%d", actuators, int(rpm))
 	}
-	eng := simkit.New()
+	eng := jobEngine(cfg.LPParallel)
 	rot := &stats.Sample{}
+	ob := cfg.Observe
 	sink := ob.sink()
 	d, err := core.New(eng, model, core.Config{
 		Actuators: actuators,
@@ -508,7 +533,7 @@ func MultiActuator(spec trace.WorkloadSpec, cfg Config, maxActuators int) (*Mult
 				if err != nil {
 					return Run{}, err
 				}
-				r, err := saRunOnStream(s, n, 0, cfg.Observe)
+				r, err := saRunOnStream(s, n, 0, cfg)
 				if err != nil {
 					return Run{}, err
 				}
@@ -558,7 +583,7 @@ func ReducedRPM(spec trace.WorkloadSpec, cfg Config) (*ReducedRPMResult, error) 
 					if err != nil {
 						return Run{}, err
 					}
-					r, err := saRunOnStream(s, a, rpm, cfg.Observe)
+					r, err := saRunOnStream(s, a, rpm, cfg)
 					if err != nil {
 						return Run{}, err
 					}

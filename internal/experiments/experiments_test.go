@@ -232,7 +232,10 @@ func TestRAIDStudyFigure8Shape(t *testing.T) {
 		t.Skip("simulation-heavy")
 	}
 	cfg := Config{Requests: 12000, Seed: 1}
-	rs, err := RAIDStudyWith(cfg, []int{2, 4, 8}, []int{1, 4}, []workload.Intensity{workload.Moderate})
+	rs, err := RunRAIDStudy(cfg, RAIDStudyOpts{
+		DiskCounts: []int{2, 4, 8}, Families: []int{1, 4},
+		Intensities: []workload.Intensity{workload.Moderate},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

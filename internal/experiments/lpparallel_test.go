@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// lpCfg returns a small observed config with the LP-parallel substrate
+// toggled — Trace and Metrics are on so the comparison covers span
+// events and snapshots, not just samples.
+func lpCfg(requests int, lp bool) Config {
+	return Config{
+		Requests:   requests,
+		Seed:       1,
+		LPParallel: lp,
+		Observe:    Observe{Trace: true, Metrics: true},
+	}
+}
+
+// sameRun asserts two runs are identical in every observable: samples,
+// power, elapsed time, span events, and canonical snapshot bytes.
+func sameRun(t *testing.T, tag string, a, b Run) {
+	t.Helper()
+	if (a.Snap == nil) != (b.Snap == nil) {
+		t.Fatalf("%s: snapshot presence differs", tag)
+	}
+	if a.Snap != nil {
+		aj, err := obs.MarshalSnapshot(*a.Snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := obs.MarshalSnapshot(*b.Snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aj, bj) {
+			t.Fatalf("%s: snapshot bytes diverge between substrates", tag)
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("%s: %d span events vs %d", tag, len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("%s: span event %d diverges: %+v vs %+v", tag, i, a.Events[i], b.Events[i])
+		}
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: runs diverge between substrates:\nsequential: %+v\nlp-parallel: %+v", tag, a, b)
+	}
+}
+
+// TestLPParallelFig2Identity: the Figure 2 limit study answers
+// byte-identically on the sequential engine and the partitioned
+// engine's windowed runtime.
+func TestLPParallelFig2Identity(t *testing.T) {
+	w := trace.Websearch()
+	seq, err := LimitStudy(w, lpCfg(3000, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := LimitStudy(w, lpCfg(3000, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, "fig2/MD", seq.MD, par.MD)
+	sameRun(t, "fig2/HC-SD", seq.HCSD, par.HCSD)
+}
+
+// TestLPParallelFig5Identity: the Figure 5 multi-actuator sweep is
+// substrate-independent.
+func TestLPParallelFig5Identity(t *testing.T) {
+	w := trace.Websearch()
+	seq, err := MultiActuator(w, lpCfg(3000, false), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MultiActuator(w, lpCfg(3000, true), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Runs) != len(par.Runs) {
+		t.Fatalf("fig5: %d runs vs %d", len(seq.Runs), len(par.Runs))
+	}
+	for i := range seq.Runs {
+		sameRun(t, "fig5/SA", seq.Runs[i], par.Runs[i])
+	}
+	sameRun(t, "fig5/MD", seq.MD, par.MD)
+}
+
+// TestLPParallelFig8Identity: the Figure 8 RAID study — the heaviest
+// consumer of the substrate swap — is substrate-independent point by
+// point, snapshots included.
+func TestLPParallelFig8Identity(t *testing.T) {
+	opts := RAIDStudyOpts{
+		DiskCounts:  []int{1, 2},
+		Families:    []int{1, 2},
+		Intensities: []workload.Intensity{workload.Heavy},
+	}
+	seq, err := RunRAIDStudy(lpCfg(2000, false), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunRAIDStudy(lpCfg(2000, true), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Points) != len(par.Points) {
+		t.Fatalf("fig8: %d points vs %d", len(seq.Points), len(par.Points))
+	}
+	for i := range seq.Points {
+		a, b := seq.Points[i], par.Points[i]
+		if a.P90 != b.P90 || a.MeanResp != b.MeanResp || a.Power != b.Power {
+			t.Fatalf("fig8 point %d (%s x%d): %+v vs %+v diverge between substrates",
+				i, a.Label(), a.Drives, a, b)
+		}
+		if (a.Snap == nil) != (b.Snap == nil) {
+			t.Fatalf("fig8 point %d: snapshot presence differs", i)
+		}
+		if a.Snap != nil {
+			aj, _ := obs.MarshalSnapshot(*a.Snap)
+			bj, _ := obs.MarshalSnapshot(*b.Snap)
+			if !bytes.Equal(aj, bj) {
+				t.Fatalf("fig8 point %d: snapshot bytes diverge", i)
+			}
+		}
+		if !reflect.DeepEqual(a.Events, b.Events) {
+			t.Fatalf("fig8 point %d: span events diverge", i)
+		}
+	}
+}
+
+// TestLPParallelWhatIfIdentity: a served what-if answer is the same
+// bytes whichever substrate computed it — which is what makes
+// lp_parallel safe to carry in the cache key as a how-it-was-computed
+// record rather than a result dimension.
+func TestLPParallelWhatIfIdentity(t *testing.T) {
+	q := WhatIfQuery{Workload: "Websearch", Actuators: 2, Requests: 2000, Seed: 7}
+	seq, err := RunWhatIf(context.Background(), q, 7, Observe{Trace: true, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.LPParallel = true
+	par, err := RunWhatIf(context.Background(), q, 7, Observe{Trace: true, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, "whatif", seq.Run, par.Run)
+	if seq.HealthyArms != par.HealthyArms || seq.FaultsInjected != par.FaultsInjected {
+		t.Fatalf("whatif fault state diverges: %+v vs %+v", seq, par)
+	}
+}
+
+// TestLPRAIDWorkerIdentity: the genuinely multi-LP scenario produces
+// identical results at one worker and many — the window protocol, not
+// scheduling luck, fixes the outcome.
+func TestLPRAIDWorkerIdentity(t *testing.T) {
+	run := func(workers int) *LPRAIDResult {
+		r, err := LPRAID(lpCfg(3000, false), LPRAIDOpts{Drives: 8, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	one, many := run(1), run(4)
+	if one.Windows != many.Windows {
+		t.Fatalf("windows %d vs %d", one.Windows, many.Windows)
+	}
+	if one.Windows < 2 {
+		t.Fatalf("degenerate run: %d windows", one.Windows)
+	}
+	aj, err := obs.MarshalSnapshot(*one.Snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := obs.MarshalSnapshot(*many.Snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("snapshot bytes diverge across worker counts")
+	}
+	if !reflect.DeepEqual(one.Resp, many.Resp) {
+		t.Fatalf("response samples diverge across worker counts")
+	}
+	if !reflect.DeepEqual(one.Events, many.Events) {
+		t.Fatalf("span events diverge across worker counts")
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/disk"
+	"repro/internal/obs"
+	"repro/internal/power"
+	"repro/internal/raid"
+	"repro/internal/simkit"
+	"repro/internal/simkit/par"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// LPRAIDOpts configures the partitioned-array scale scenario. The zero
+// value is the canonical run: a 64-drive RAID-0 of 2-actuator drives
+// under the paper's light per-drive load (scaled up by the drive count),
+// with worker count taken from Config.LPParallel.
+type LPRAIDOpts struct {
+	// Drives is the array width (default 64). Unlike the Figure 8 study,
+	// which caps at 16 drives on one event loop, this scenario exists to
+	// exercise arrays too wide for a single timeline.
+	Drives int
+	// Actuators per member drive (default 2).
+	Actuators int
+	// Intensity is the per-drive load level (default Light). The array's
+	// arrival rate is this intensity's rate times Drives, so per-member
+	// load stays constant as the array widens.
+	Intensity workload.Intensity
+	// Workers sets the partitioned engine's worker-goroutine count
+	// directly. Zero defers to Config.LPParallel: all cores when set,
+	// one otherwise. Results are byte-identical at every setting.
+	Workers int
+}
+
+func (o LPRAIDOpts) withDefaults() LPRAIDOpts {
+	if o.Drives == 0 {
+		o.Drives = 64
+	}
+	if o.Actuators == 0 {
+		o.Actuators = 2
+	}
+	return o
+}
+
+// LPRAIDResult is one partitioned-array run.
+type LPRAIDResult struct {
+	Drives    int
+	Actuators int
+	Intensity workload.Intensity
+	// Windows is the partitioned engine's synchronization-barrier count —
+	// the cost side of the lookahead trade (see simkit/par). BusyLPs is
+	// the cumulative count of logical processes with work per window;
+	// BusyLPs/Windows is the simulation's available parallelism — the
+	// speedup ceiling a worker pool can exploit on a multi-core machine.
+	// Both are engine invariants, identical at every worker count.
+	Windows   uint64
+	BusyLPs   uint64
+	Resp      *stats.Sample
+	Power     power.Breakdown
+	ElapsedMs float64
+
+	Events []obs.Event
+	Snap   *obs.Snapshot
+}
+
+// LPRAID replays the paper's synthetic workload against a partitioned
+// RAID-0 array: the controller and every member drive live on their own
+// logical process, coupled through point-to-point links whose minimum
+// latency (bus.DefaultLink's arbitration overhead) is the conservative
+// lookahead that lets member timelines advance concurrently. This is
+// the one experiment whose simulation actually runs on multiple cores;
+// the LPParallel substrate swap elsewhere keeps single-timeline studies
+// byte-stable while this scenario buys wall-clock speedup on arrays too
+// wide for one event loop. Results are byte-identical at every worker
+// count — only elapsed real time changes.
+func LPRAID(cfg Config, opts LPRAIDOpts) (*LPRAIDResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.Drives < 1 {
+		return nil, fmt.Errorf("experiments: LPRAID drives %d", opts.Drives)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		if cfg.LPParallel {
+			workers = 0 // par default: all cores
+		} else {
+			workers = 1
+		}
+	}
+
+	model := disk.BarracudaES()
+	probeEng := simkit.New()
+	probe, err := disk.New(probeEng, model, disk.Options{})
+	if err != nil {
+		return nil, err
+	}
+	memberSectors := probe.Capacity()
+
+	layout, err := raid.NewRAID0(opts.Drives, memberSectors, StripeUnitSectors)
+	if err != nil {
+		return nil, err
+	}
+	pe := par.New(opts.Drives+1, par.Options{Workers: workers})
+	sink := cfg.Observe.sink()
+	arr, err := raid.NewPartitioned(pe, layout, bus.DefaultLink(), int64(model.Geom.SectorBytes),
+		func(s simkit.Scheduler, i int) (device.Device, error) {
+			return core.New(s, model, core.Config{
+				Actuators: opts.Actuators,
+				Obs:       sinkOptions(sink, fmt.Sprintf("lpraid/m%d", i)),
+			})
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Offered load scales with the array: Drives times the intensity's
+	// per-drive rate, addressed across the whole array capacity.
+	spec := workload.Paper(opts.Intensity, layout.Capacity()).WithRequests(cfg.Requests)
+	spec.MeanInterArrivalMs /= float64(opts.Drives)
+	g, err := workload.NewGenerator(spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	runner := pe.Runner(0)
+	resp := ReplayStream(runner, arr, g)
+	elapsed := runner.Now()
+	return &LPRAIDResult{
+		Drives:    opts.Drives,
+		Actuators: opts.Actuators,
+		Intensity: opts.Intensity,
+		Windows:   pe.Windows(),
+		BusyLPs:   pe.BusyLPs(),
+		Resp:      resp,
+		Power:     arr.Power(elapsed),
+		ElapsedMs: elapsed,
+		Events:    cfg.Observe.events(sink),
+		Snap:      cfg.Observe.snap(arr),
+	}, nil
+}

@@ -103,18 +103,6 @@ func RAIDStudy(cfg Config) (*RAIDStudyResult, error) {
 	return RunRAIDStudy(cfg, RAIDStudyOpts{})
 }
 
-// RAIDStudyWith runs the study over explicit axes.
-//
-// Deprecated: use RunRAIDStudy with RAIDStudyOpts; this wrapper remains
-// for callers of the original positional API.
-func RAIDStudyWith(cfg Config, diskCounts, families []int, intensities []workload.Intensity) (*RAIDStudyResult, error) {
-	return RunRAIDStudy(cfg, RAIDStudyOpts{
-		DiskCounts:  diskCounts,
-		Families:    families,
-		Intensities: intensities,
-	})
-}
-
 // RunRAIDStudy runs the §7.3 evaluation over the opts' axes (zero-value
 // fields fall back to the paper's defaults). The dataset is fixed at
 // one drive's capacity so every array size serves the same logical
@@ -156,7 +144,7 @@ func RunRAIDStudy(cfg Config, opts RAIDStudyOpts) (*RAIDStudyResult, error) {
 				jobs = append(jobs, fleet.Job[RAIDPoint]{
 					Name: fmt.Sprintf("raid/%s/SA(%d)x%d", in, fam, count),
 					Run: func(context.Context, int64) (RAIDPoint, error) {
-						eng := simkit.New()
+						eng := jobEngine(cfg.LPParallel)
 						sink := cfg.Observe.sink()
 						members := make([]device.Device, count)
 						for i := range members {

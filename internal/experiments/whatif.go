@@ -44,6 +44,12 @@ type WhatIfQuery struct {
 	// AtFrac of the nominal replay duration (mean inter-arrival ×
 	// requests), so fault timing scales with Requests.
 	ArmFaults []WhatIfArmFault `json:"arm_faults,omitempty"`
+	// LPParallel runs the replicate on the partitioned engine's
+	// windowed runtime instead of the sequential engine. The answer is
+	// byte-identical either way — the field selects a substrate, not a
+	// result — but it participates in the cache key like every other
+	// field, so an answer always records how it was computed.
+	LPParallel bool `json:"lp_parallel,omitempty"`
 }
 
 // WhatIfArmFault is one scheduled actuator deconfiguration.
@@ -179,7 +185,7 @@ func RunWhatIf(ctx context.Context, q WhatIfQuery, seed int64, ob Observe) (*Wha
 	if q.RPM != 0 && q.RPM != model.RPM {
 		model = model.WithRPM(q.RPM)
 	}
-	eng := simkit.New()
+	eng := jobEngine(q.LPParallel)
 	rot := &stats.Sample{}
 	sink := ob.sink()
 	d, err := core.New(eng, model, core.Config{
@@ -275,7 +281,7 @@ func WhatIfJobs(q WhatIfQuery, ob Observe) []fleet.Job[*WhatIfRun] {
 // arrivals so the engine drains only the in-flight tail. The successful
 // path schedules exactly the events ReplayStream would — the check can
 // only abort a run, never perturb it.
-func replayStreamCtx(ctx context.Context, eng *simkit.Engine, dev device.Device, s trace.Stream, batch int) (*stats.Sample, error) {
+func replayStreamCtx(ctx context.Context, eng simkit.Runner, dev device.Device, s trace.Stream, batch int) (*stats.Sample, error) {
 	resp := &stats.Sample{}
 	cur, ok := s.Next()
 	if !ok {

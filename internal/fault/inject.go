@@ -41,7 +41,7 @@ type Targets struct {
 // span per event (when a sink is configured) and a counter per class on
 // the snapshot.
 type Injector struct {
-	eng     *simkit.Engine
+	eng     simkit.Scheduler
 	plan    Plan
 	targets Targets
 	em      *obs.Emitter
@@ -65,7 +65,7 @@ type Injector struct {
 // NewInjector validates that every plan event has its target bound and
 // builds the injector. Call Schedule to arm the events; construction
 // alone injects nothing.
-func NewInjector(eng *simkit.Engine, plan Plan, targets Targets, ob obs.Options) (*Injector, error) {
+func NewInjector(eng simkit.Scheduler, plan Plan, targets Targets, ob obs.Options) (*Injector, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("fault: injector needs an engine")
 	}

@@ -128,7 +128,11 @@ func (e *Engine) siftDown() {
 }
 
 // Step runs the single earliest pending event, advancing the clock to its
-// timestamp. It reports whether an event was run.
+// timestamp. It reports whether an event was run. Events with tied
+// timestamps fire in the order they were scheduled — the (at, seq) total
+// order — and the partitioned engine preserves the same per-process
+// schedule order for ties that span logical processes (pinned by the
+// cross-LP tie test in simkit/par).
 func (e *Engine) Step() bool {
 	n := len(e.queue)
 	if n == 0 {
@@ -155,6 +159,8 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps at or before deadline. The
 // clock never advances past the deadline; events beyond it stay queued.
+// Within the deadline, same-timestamp events fire in schedule order,
+// exactly as Step does.
 func (e *Engine) RunUntil(deadline float64) {
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
 		e.Step()

@@ -2,10 +2,17 @@ package simkit
 
 import "repro/internal/obs"
 
-// Emitter returns a span emitter whose events are stamped by this
-// engine's clock and labeled with the device name. A nil sink yields
+// Emitter returns a span emitter whose events are stamped by the
+// scheduler's clock and labeled with the device name. A nil sink yields
 // the nil (disabled) emitter, so callers wire tracing unconditionally
 // and pay nothing when it is off.
+func Emitter(s Scheduler, sink obs.Sink, dev string) *obs.Emitter {
+	return obs.NewEmitter(s, sink, dev)
+}
+
+// Emitter is the method form of the package-level Emitter, kept so code
+// holding a concrete *Engine reads the same as before the Scheduler
+// split.
 func (e *Engine) Emitter(sink obs.Sink, dev string) *obs.Emitter {
 	return obs.NewEmitter(e, sink, dev)
 }

@@ -1,0 +1,428 @@
+// Package par is a conservative-parallel partitioned discrete-event
+// engine in the PARSIR tradition: a simulation is split into logical
+// processes (LPs), each owning a private event queue and clock, and the
+// LPs execute in synchronized time windows whose width is the minimum
+// lookahead declared on any inter-LP channel.
+//
+// # Model
+//
+// Each LP is a full simkit event loop (it embeds a *simkit.Engine), so
+// any device built against simkit.Scheduler runs on an LP unchanged.
+// LPs may interact only through channels declared with Link, and every
+// cross-LP event must be sent at least the channel's lookahead into the
+// future. In a storage simulation the lookahead comes for free: the
+// array interconnect has a minimum propagation latency (bus arbitration
+// overhead plus wire time), so a controller event can never affect a
+// drive sooner than that.
+//
+// # Determinism
+//
+// The engine is byte-deterministic by construction, at any worker
+// count:
+//
+//   - Within a window [T, T+L) every LP fires only its own events, in
+//     its local (at, seq) schedule order — the same total order the
+//     sequential simkit.Engine guarantees.
+//   - A send from an event at time t >= T arrives at t+lookahead >=
+//     T+L, i.e. always in a later window, so nothing an LP does in a
+//     window can affect another LP in the same window. Window execution
+//     is therefore order-free across LPs and safe to run on goroutines.
+//   - At each window barrier the buffered sends are merged in the
+//     deterministic order (at, source LP, source send seq) and enqueued
+//     into the destination LPs. Same-timestamp deliveries thus fire in
+//     a reproducible order that no scheduler interleaving can perturb.
+//
+// Running with Workers=1 executes the identical window/merge algorithm
+// on the calling goroutine; parallel runs are byte-identical to it
+// (cross-checked by randomized schedules with deliberate cross-LP
+// timestamp ties in par_test.go, the way simkit's heap_test.go
+// cross-checks the 4-ary heap against a reference heap).
+package par
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/simkit"
+)
+
+// envelope is one buffered cross-LP event: scheduled on the source LP,
+// delivered into the destination LP's queue at the window barrier.
+type envelope struct {
+	at  float64
+	src int
+	seq uint64 // per-source send sequence, for the deterministic merge
+	dst int
+	fn  simkit.Event
+}
+
+// LP is one logical process: a private simkit event loop plus a mailbox
+// for outbound cross-LP sends. It implements simkit.Scheduler, so
+// devices attach to an LP exactly as they attach to an Engine.
+type LP struct {
+	id     int
+	eng    *simkit.Engine
+	parent *Engine
+
+	outbox  []envelope // sends buffered during the current window
+	sendSeq uint64
+}
+
+var _ simkit.Scheduler = (*LP)(nil)
+
+// ID reports the LP's index within its engine.
+func (lp *LP) ID() int { return lp.id }
+
+// Now reports the LP's local simulated time.
+func (lp *LP) Now() float64 { return lp.eng.Now() }
+
+// At schedules fn on this LP at absolute local time t.
+func (lp *LP) At(t float64, fn simkit.Event) { lp.eng.At(t, fn) }
+
+// After schedules fn on this LP d milliseconds from its local now.
+func (lp *LP) After(d float64, fn simkit.Event) { lp.eng.After(d, fn) }
+
+// Send schedules fn on LP dst at absolute time at. The channel
+// (lp → dst) must have been declared with Link, and at must respect its
+// lookahead: at >= Now + lookahead. Violating either panics — a
+// too-early send is a modeling bug that would break the conservative
+// window argument, not a condition to tolerate.
+//
+// Sends are buffered and delivered at the next window barrier, merged
+// across sources in (at, source LP, source send seq) order.
+func (lp *LP) Send(dst int, at float64, fn simkit.Event) {
+	la, ok := lp.parent.lookahead(lp.id, dst)
+	if !ok {
+		panic(fmt.Sprintf("par: send %d->%d without a declared Link", lp.id, dst))
+	}
+	if min := lp.eng.Now() + la; at < min {
+		panic(fmt.Sprintf("par: send %d->%d at %.6f violates lookahead %.6f (now %.6f)",
+			lp.id, dst, at, la, lp.eng.Now()))
+	}
+	lp.sendSeq++
+	lp.outbox = append(lp.outbox, envelope{at: at, src: lp.id, seq: lp.sendSeq, dst: dst, fn: fn})
+}
+
+// Options tunes the partitioned engine's execution.
+type Options struct {
+	// Workers is the number of goroutines executing LP windows.
+	// 0 means runtime.GOMAXPROCS(0); 1 runs the identical window
+	// algorithm on the calling goroutine with no concurrency at all.
+	// The results are byte-identical at every worker count.
+	Workers int
+}
+
+// Engine is a partitioned simulation: n logical processes advancing in
+// conservative synchronized windows. The zero value is not usable;
+// construct with New.
+type Engine struct {
+	lps     []*LP
+	links   map[int64]float64 // (src<<32 | dst) -> lookahead
+	minLook float64           // min lookahead over all links (+Inf when none)
+	workers int
+
+	fired   uint64
+	windows uint64
+	busyLPs uint64
+
+	// Worker pool state, lazily started on the first parallel window
+	// and stopped when Run/RunUntil returns.
+	pool *pool
+}
+
+// New returns a partitioned engine with n logical processes and no
+// channels. Declare inter-LP channels with Link before running.
+func New(n int, opt Options) *Engine {
+	if n <= 0 {
+		panic(fmt.Sprintf("par: %d LPs", n))
+	}
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		links:   map[int64]float64{},
+		minLook: math.Inf(1),
+		workers: w,
+	}
+	for i := 0; i < n; i++ {
+		e.lps = append(e.lps, &LP{id: i, eng: simkit.New(), parent: e})
+	}
+	return e
+}
+
+// NumLPs reports the logical-process count.
+func (e *Engine) NumLPs() int { return len(e.lps) }
+
+// LP returns logical process i.
+func (e *Engine) LP(i int) *LP { return e.lps[i] }
+
+// Fired reports how many events have run across all LPs.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Windows reports how many synchronization windows Run has executed —
+// the engine's barrier count, for sizing lookahead against sync cost.
+func (e *Engine) Windows() uint64 { return e.windows }
+
+// BusyLPs reports the cumulative count of per-LP window executions:
+// divided by Windows it is the mean number of LPs with work per window,
+// i.e. the simulation's available parallelism. Like Windows it is an
+// engine invariant — identical at every worker count — so it measures
+// what a worker pool can exploit, independent of the cores present.
+func (e *Engine) BusyLPs() uint64 { return e.busyLPs }
+
+func linkKey(src, dst int) int64 { return int64(src)<<32 | int64(dst) }
+
+// Link declares the channel src → dst with the given lookahead: a
+// guaranteed lower bound on the delay of every Send across it. The
+// lookahead must be positive — a zero-lookahead channel admits no
+// conservative window, which is exactly why zero-latency couplings
+// must live inside one LP.
+func (e *Engine) Link(src, dst int, lookaheadMs float64) {
+	if src < 0 || src >= len(e.lps) || dst < 0 || dst >= len(e.lps) {
+		panic(fmt.Sprintf("par: link %d->%d outside [0,%d)", src, dst, len(e.lps)))
+	}
+	if src == dst {
+		panic(fmt.Sprintf("par: link %d->%d: an LP schedules on itself with At, not Send", src, dst))
+	}
+	if lookaheadMs <= 0 {
+		panic(fmt.Sprintf("par: link %d->%d lookahead %v must be positive", src, dst, lookaheadMs))
+	}
+	k := linkKey(src, dst)
+	if cur, ok := e.links[k]; ok && cur <= lookaheadMs {
+		return // keep the tighter bound
+	}
+	e.links[k] = lookaheadMs
+	if lookaheadMs < e.minLook {
+		e.minLook = lookaheadMs
+	}
+}
+
+func (e *Engine) lookahead(src, dst int) (float64, bool) {
+	la, ok := e.links[linkKey(src, dst)]
+	return la, ok
+}
+
+// deliver merges every LP's outbox into the destination queues in the
+// canonical (at, src, seq) order and clears the outboxes. Delivery
+// assigns each event its destination-local sequence number at merge
+// time, so same-timestamp deliveries fire in merge order — identically
+// at any worker count.
+func (e *Engine) deliver() {
+	var all []envelope
+	for _, lp := range e.lps {
+		all = append(all, lp.outbox...)
+		lp.outbox = lp.outbox[:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, env := range all {
+		e.lps[env.dst].eng.At(env.at, env.fn)
+	}
+}
+
+// nextAt reports the earliest pending event time across all LPs.
+func (e *Engine) nextAt() (float64, bool) {
+	t, any := 0.0, false
+	for _, lp := range e.lps {
+		if at, ok := lp.eng.NextAt(); ok && (!any || at < t) {
+			t, any = at, true
+		}
+	}
+	return t, any
+}
+
+// runWindow fires lp's events with timestamps strictly below bound and
+// at or below limit, returning how many ran. It touches only lp's
+// state: window execution across LPs is data-race-free by partition.
+func runWindow(lp *LP, bound, limit float64) uint64 {
+	var n uint64
+	for {
+		at, ok := lp.eng.NextAt()
+		if !ok || at >= bound || at > limit {
+			return n
+		}
+		lp.eng.Step()
+		n++
+	}
+}
+
+// Run executes the partitioned simulation until no events remain in any
+// LP queue or mailbox.
+func (e *Engine) Run() { e.run(math.Inf(1)) }
+
+// RunUntil executes events with timestamps at or before deadline, then
+// advances every LP clock to the deadline. Events beyond it stay
+// queued, undelivered sends beyond it stay deliverable.
+func (e *Engine) RunUntil(deadline float64) {
+	e.run(deadline)
+	for _, lp := range e.lps {
+		lp.eng.RunUntil(deadline) // queues hold nothing <= deadline; advances the clock
+	}
+}
+
+func (e *Engine) run(limit float64) {
+	defer e.stopPool()
+	for {
+		e.deliver()
+		T, ok := e.nextAt()
+		if !ok || T > limit {
+			return
+		}
+		// Conservative bound: any send from an event at t >= T arrives
+		// at >= t + lookahead >= T + minLook, so everything strictly
+		// before T+minLook is safe to fire without hearing from other
+		// LPs. With no channels the LPs are independent and the window
+		// is unbounded.
+		bound := T + e.minLook
+		e.windows++
+		e.fired += e.runLPs(bound, limit)
+	}
+}
+
+// runLPs executes one window over every LP, sequentially for a single
+// worker and on the worker pool otherwise. Both paths fire the exact
+// same events in the exact same per-LP order; the pool only changes
+// which OS thread an LP's window runs on.
+func (e *Engine) runLPs(bound, limit float64) uint64 {
+	// An LP with no event below the bound has nothing to do; skip the
+	// handoff cost entirely when at most one LP has work.
+	work := make([]*LP, 0, len(e.lps))
+	for _, lp := range e.lps {
+		if at, ok := lp.eng.NextAt(); ok && at < bound && at <= limit {
+			work = append(work, lp)
+		}
+	}
+	e.busyLPs += uint64(len(work))
+	if e.workers == 1 || len(work) == 1 {
+		var n uint64
+		for _, lp := range work {
+			n += runWindow(lp, bound, limit)
+		}
+		return n
+	}
+	return e.runPool(work, bound, limit)
+}
+
+// pool is the persistent window-execution worker pool: workers block on
+// start, claim LPs from a shared cursor, and signal completion. The
+// pool exists only between the first parallel window and the end of
+// Run, so an idle Engine holds no goroutines.
+type pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	work    []*LP
+	bound   float64
+	limit   float64
+	cursor  int
+	active  int
+	fired   uint64
+	epoch   uint64
+	stopped bool
+	done    chan struct{}
+}
+
+func (e *Engine) startPool() {
+	// done is buffered: the last worker of a window sends exactly once
+	// and runPool receives exactly once, so a capacity-1 channel lets
+	// the worker signal completion even before runPool blocks on it.
+	p := &pool{done: make(chan struct{}, 1)}
+	p.cond = sync.NewCond(&p.mu)
+	e.pool = p
+	for i := 0; i < e.workers; i++ {
+		go p.worker()
+	}
+}
+
+func (e *Engine) stopPool() {
+	if e.pool == nil {
+		return
+	}
+	p := e.pool
+	p.mu.Lock()
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	e.pool = nil
+}
+
+func (p *pool) worker() {
+	p.mu.Lock()
+	epoch := uint64(0)
+	for {
+		for !p.stopped && p.epoch == epoch {
+			p.cond.Wait()
+		}
+		if p.stopped {
+			p.mu.Unlock()
+			return
+		}
+		epoch = p.epoch
+		var fired uint64
+		for {
+			if p.cursor >= len(p.work) {
+				break
+			}
+			lp := p.work[p.cursor]
+			p.cursor++
+			p.mu.Unlock()
+			fired += runWindow(lp, p.bound, p.limit)
+			p.mu.Lock()
+		}
+		p.fired += fired
+		p.active--
+		if p.active == 0 {
+			// Last worker out closes the window.
+			p.done <- struct{}{}
+		}
+	}
+}
+
+func (e *Engine) runPool(work []*LP, bound, limit float64) uint64 {
+	if e.pool == nil {
+		e.startPool()
+	}
+	p := e.pool
+	p.mu.Lock()
+	p.work = work
+	p.bound = bound
+	p.limit = limit
+	p.cursor = 0
+	p.active = e.workers
+	p.fired = 0
+	p.epoch++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	<-p.done
+	p.mu.Lock()
+	fired := p.fired
+	p.mu.Unlock()
+	return fired
+}
+
+// Runner adapts one LP into a simkit.Runner: scheduling goes to the LP,
+// Run drives the whole partitioned engine. Experiment drivers written
+// against simkit.Runner run on a partitioned engine by passing
+// e.Runner(lp) where they passed a *simkit.Engine.
+func (e *Engine) Runner(lp int) simkit.Runner { return lpRunner{e.lps[lp], e} }
+
+type lpRunner struct {
+	*LP
+	e *Engine
+}
+
+func (r lpRunner) Run() { r.e.Run() }

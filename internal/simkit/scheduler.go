@@ -1,0 +1,51 @@
+package simkit
+
+// Scheduler is the narrow surface a simulated component needs to
+// schedule work: read the clock, schedule at an absolute time, schedule
+// after a delay. Devices are built against this interface instead of
+// the concrete *Engine, so the same model code runs unchanged on the
+// sequential Engine or on one logical process of the partitioned
+// par.Engine.
+//
+// Contract (shared by every implementation):
+//
+//   - Now never moves backward, and only advances while events fire.
+//   - At(t, fn) with t < Now panics: scheduling in the past always
+//     indicates a modeling bug.
+//   - Events scheduled for the same instant fire in the order they were
+//     scheduled. A logical process's firing order is a pure function of
+//     its schedule — never of heap shape, worker count, or the
+//     interleaving of other logical processes.
+type Scheduler interface {
+	// Now reports the current simulated time in milliseconds.
+	Now() float64
+	// At schedules fn to run at absolute time t.
+	At(t float64, fn Event)
+	// After schedules fn to run d milliseconds from now.
+	After(d float64, fn Event)
+}
+
+// Runner is a Scheduler that also owns the event loop: it can drive the
+// simulation to completion. The sequential Engine is a Runner; the
+// partitioned engine exposes one Runner per logical process (running it
+// runs the whole partitioned simulation).
+type Runner interface {
+	Scheduler
+	// Run executes events until none remain anywhere in the simulation.
+	Run()
+}
+
+var (
+	_ Scheduler = (*Engine)(nil)
+	_ Runner    = (*Engine)(nil)
+)
+
+// NextAt reports the timestamp of the earliest pending event, if any.
+// The partitioned engine uses this to compute conservative window
+// bounds without disturbing the queue.
+func (e *Engine) NextAt() (float64, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}

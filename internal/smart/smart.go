@@ -190,7 +190,7 @@ func (m *Monitor) Snapshot() obs.Snapshot {
 // Sentry polls a set of monitors on the simulation clock and invokes
 // onPredict exactly once per monitor that predicts a failure.
 type Sentry struct {
-	eng       *simkit.Engine
+	eng       simkit.Scheduler
 	monitors  []*Monitor
 	periodMs  float64
 	onPredict func(component int)
@@ -199,7 +199,7 @@ type Sentry struct {
 }
 
 // NewSentry builds a sentry polling every periodMs.
-func NewSentry(eng *simkit.Engine, monitors []*Monitor, periodMs float64, onPredict func(int)) (*Sentry, error) {
+func NewSentry(eng simkit.Scheduler, monitors []*Monitor, periodMs float64, onPredict func(int)) (*Sentry, error) {
 	if len(monitors) == 0 {
 		return nil, fmt.Errorf("smart: sentry needs monitors")
 	}
