@@ -18,7 +18,9 @@
 // sequential one. Single-timeline studies execute on one logical process
 // (inline, byte-identical by construction); the lpraid scenario — a
 // 64-drive partitioned array, the one simulation too wide for a single
-// event loop — runs its member timelines on all cores. Output bytes are
+// event loop, run healthy and again degraded (RAID-5 member death and
+// rebuild crossing the links) — and the degradation study's rebuild-lp
+// rows run their member timelines on all cores. Output bytes are
 // identical with and without the flag; only wall-clock time changes.
 //
 // With -trace, every simulated request's lifecycle span events
@@ -336,19 +338,24 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 
 	if all || exp == "lpraid" {
 		ran = true
-		lr, err := experiments.LPRAID(cfg, experiments.LPRAIDOpts{})
-		if err != nil {
-			return err
-		}
-		experiments.WriteLPRAID(out, lr)
-		fmt.Fprintln(out)
-		if cfg.Observe.Metrics && lr.Snap != nil {
-			obs.WriteText(out, *lr.Snap)
+		// The healthy scale run, then the same array serving through a
+		// member death and rebuild — both on the partitioned engine, both
+		// byte-identical with -lpparallel on or off.
+		for _, opts := range []experiments.LPRAIDOpts{{}, {Degraded: true}} {
+			lr, err := experiments.LPRAID(cfg, opts)
+			if err != nil {
+				return err
+			}
+			experiments.WriteLPRAID(out, lr)
 			fmt.Fprintln(out)
-		}
-		if sink != nil {
-			for _, ev := range lr.Events {
-				sink.Emit(ev)
+			if cfg.Observe.Metrics && lr.Snap != nil {
+				obs.WriteText(out, *lr.Snap)
+				fmt.Fprintln(out)
+			}
+			if sink != nil {
+				for _, ev := range lr.Events {
+					sink.Emit(ev)
+				}
 			}
 		}
 	}

@@ -25,6 +25,14 @@
 // instead of simulating the processes one at a time; the output is
 // byte-identical either way, only wall-clock time changes.
 //
+// -degraded (raidN only, N >= 3) swaps the stripe set to RAID-5 and
+// injects the degradation study's fault timeline: one member dies at
+// 35% of the nominal duration and is rebuilt from 45%, the rebuild's
+// survivor reads and reconstruction writes crossing the member links
+// behind foreground traffic. Still byte-identical at any worker count.
+// -replay is rejected for raidN: partitioned arrays replay synthesized
+// workloads only.
+//
 // Observability:
 //
 //	-trace out.jsonl  stream every request's lifecycle span events
@@ -47,6 +55,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/disk"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/raid"
 	"repro/internal/simkit"
@@ -63,6 +72,7 @@ func main() {
 		requests = flag.Int("requests", 100000, "requests to synthesize")
 		seed     = flag.Int64("seed", 1, "workload synthesis seed")
 		rpm      = flag.Float64("rpm", 0, "override drive RPM (reduced-RPM designs)")
+		degraded = flag.Bool("degraded", false, "raidN only: RAID-5 with a mid-run member death and rebuild under load")
 		lppar    = flag.Bool("lpparallel", false, "simulate on the partitioned engine (byte-identical output)")
 		traceOut = flag.String("trace", "", "write request-lifecycle span events to this JSONL file")
 		metrics  = flag.Bool("metrics", false, "print the device statistics snapshot after the run")
@@ -84,13 +94,21 @@ func main() {
 			f.Close()
 		}()
 	}
-	if err := run(*wl, *replay, *system, *requests, *seed, *rpm, *traceOut, *metrics, *lppar); err != nil {
+	if err := run(*wl, *replay, *system, *requests, *seed, *rpm, *traceOut, *metrics, *degraded, *lppar); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, replayFile, system string, requests int, seed int64, rpm float64, traceOut string, metrics, lppar bool) error {
+func run(wl, replayFile, system string, requests int, seed int64, rpm float64, traceOut string, metrics, degraded, lppar bool) error {
+	// Unsupported flag combinations fail with one-line errors up front,
+	// before any simulation state exists.
+	if replayFile != "" && strings.HasPrefix(system, "raid") {
+		return fmt.Errorf("-replay is not supported with -system %s: the partitioned array replays synthesized workloads only", system)
+	}
+	if degraded && !strings.HasPrefix(system, "raid") {
+		return fmt.Errorf("-degraded requires -system raidN, got -system %s", system)
+	}
 	spec, err := trace.WorkloadByName(wl)
 	if err != nil {
 		return err
@@ -136,6 +154,7 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 	var resp *stats.Sample
 	var powerOf func(elapsed float64) string
 	var instrumented device.Instrumented
+	var inj *fault.Injector
 
 	switch {
 	case system == "md":
@@ -196,7 +215,19 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 		if err != nil {
 			return err
 		}
-		layout, err := raid.NewRAID0(n, probe.Capacity(), experiments.StripeUnitSectors)
+		// The degraded scenario needs a layout that can reconstruct, so
+		// -degraded swaps the stripe set to RAID-5.
+		level := "RAID-0"
+		var layout raid.Layout
+		if degraded {
+			if n < 3 {
+				return fmt.Errorf("-degraded needs -system raidN with N >= 3, got %d members", n)
+			}
+			level = "RAID-5 degraded"
+			layout, err = raid.NewRAID5(n, probe.Capacity(), experiments.StripeUnitSectors)
+		} else {
+			layout, err = raid.NewRAID0(n, probe.Capacity(), experiments.StripeUnitSectors)
+		}
 		if err != nil {
 			return err
 		}
@@ -208,11 +239,36 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 		arr, err := raid.NewPartitioned(pe, layout, bus.DefaultLink(), int64(model.Geom.SectorBytes),
 			func(s simkit.Scheduler, i int) (device.Device, error) {
 				return disk.New(s, model, disk.Options{
-					Obs: obs.Options{Sink: sink, Name: fmt.Sprintf("raid%d/m%d", n, i)},
+					Obs: obs.Options{Sink: pe.LP(1 + i).WrapSink(sink), Name: fmt.Sprintf("raid%d/m%d", n, i)},
 				})
 			})
 		if err != nil {
 			return err
+		}
+		if degraded {
+			// One member dies at 35% of the nominal duration and is
+			// rebuilt from 45%, sweeping its extent in 256 chunks — the
+			// degradation study's timeline on the CLI's array.
+			durationMs := spec.MeanInterArrivalMs * float64(requests)
+			extent := layout.(raid.MemberSizer).MemberExtent()
+			chunk := (extent + 255) / 256
+			plan, err := fault.Compile(fault.Spec{Death: &fault.Death{
+				AtMs:         0.35 * durationMs,
+				Member:       n / 2,
+				RebuildAtMs:  0.45 * durationMs,
+				ChunkSectors: chunk,
+				Depth:        4,
+			}}, seed)
+			if err != nil {
+				return err
+			}
+			in, err := fault.NewInjector(pe.LP(0), plan, fault.Targets{Array: arr},
+				obs.Options{Sink: pe.LP(0).WrapSink(sink), Name: fmt.Sprintf("raid%d/fault", n)})
+			if err != nil {
+				return err
+			}
+			in.Schedule()
+			inj = in
 		}
 		if tr, err = experiments.HCSDTrace(spec, tr); err != nil {
 			return err
@@ -220,8 +276,8 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 		eng = pe.Runner(0)
 		resp = experiments.Replay(eng, arr, tr)
 		powerOf = func(e float64) string { return experiments.WriteBreakdownBar(arr.Power(e)) }
-		label = fmt.Sprintf("RAID-0 x%d %s (partitioned: %d LPs, %d sync windows)",
-			n, model.Name, pe.NumLPs(), pe.Windows())
+		label = fmt.Sprintf("%s x%d %s (partitioned: %d LPs, %d sync windows)",
+			level, n, model.Name, pe.NumLPs(), pe.Windows())
 		instrumented = arr
 
 	default:
@@ -234,12 +290,20 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 	fmt.Printf("response: %s\n", resp.Summarize())
 	fmt.Printf("CDF:      %s\n", stats.FormatCDFRow(stats.ResponseBucketEdgesMs, resp.ResponseCDF()))
 	fmt.Printf("power:    %s\n", powerOf(elapsed))
+	if inj != nil {
+		fmt.Printf("rebuild:  %d sectors copied over the links, member restored at %.1f ms (%d faults applied)\n",
+			inj.CopiedSectors(), inj.RebuildDoneMs(), inj.Injected())
+	}
 	if jsonl != nil && jsonl.Err() != nil {
 		return fmt.Errorf("trace output: %w", jsonl.Err())
 	}
 	if metrics {
 		fmt.Println()
-		obs.WriteText(os.Stdout, instrumented.Snapshot())
+		snap := instrumented.Snapshot()
+		if inj != nil {
+			snap.Children = append(snap.Children, inj.Snapshot())
+		}
+		obs.WriteText(os.Stdout, snap)
 	}
 	return nil
 }

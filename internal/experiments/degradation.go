@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/defect"
 	"repro/internal/device"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/raid"
 	"repro/internal/simkit"
+	"repro/internal/simkit/par"
 	"repro/internal/smart"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -149,6 +151,10 @@ func degradationRun(label string, dev device.Device, resp *stats.Sample,
 //   - rebuild(d=N): a RAID-5 of four HC-SD drives serving the same
 //     stream; one member accumulates latent sector errors, another dies
 //     and is rebuilt under foreground load at chunk depth N.
+//   - rebuild-lp(d=N): the same fault scenario on the partitioned
+//     topology — controller and members on separate logical processes,
+//     rebuild traffic crossing the member links. LPParallel only turns
+//     the worker pool on; the output is byte-identical either way.
 //
 // Every scenario derives all randomness from cfg.Seed, so the study is
 // byte-identical at any Parallelism.
@@ -338,6 +344,87 @@ func RunDegradationStudy(spec trace.WorkloadSpec, cfg Config, depths []int) (*De
 				}
 				resp := ReplayStream(eng, arr, s)
 				r := degradationRun(label, arr, resp, eng, sink, inj, cfg.Observe)
+				r.RebuildDepth = depth
+				r.Reallocated = dt.Reallocated()
+				return r, nil
+			},
+		})
+	}
+	// The same rebuild scenarios on the genuinely partitioned topology:
+	// controller and members on separate LPs, sector errors applied on
+	// the defect-table member's own LP, death and rebuild injected on
+	// the controller's. LPParallel turns the worker pool on; results
+	// are byte-identical either way, so the study output diffs clean
+	// against a flag-off run.
+	for _, depth := range depths {
+		depth := depth
+		label := fmt.Sprintf("rebuild-lp(d=%d)", depth)
+		jobs = append(jobs, fleet.Job[DegradationRun]{
+			Name: fmt.Sprintf("%s/degradation/%s", spec.Name, label),
+			Run: func(context.Context, int64) (DegradationRun, error) {
+				workers := 1
+				if cfg.LPParallel {
+					workers = 0 // all cores
+				}
+				pe := par.New(degradationMembers+1, par.Options{Workers: workers})
+				sink := cfg.Observe.sink()
+				dt, err := defect.NewTable(per+degradationSpareSectors, degradationSpareSectors)
+				if err != nil {
+					return DegradationRun{}, err
+				}
+				layout, err := raid.NewRAID5(degradationMembers, per, StripeUnitSectors)
+				if err != nil {
+					return DegradationRun{}, err
+				}
+				model := disk.BarracudaES()
+				arr, err := raid.NewPartitioned(pe, layout, bus.DefaultLink(), int64(model.Geom.SectorBytes),
+					func(s simkit.Scheduler, i int) (device.Device, error) {
+						opts := disk.Options{Obs: lpSinkOptions(pe.LP(1+i), sink, fmt.Sprintf("%s/m%d", label, i))}
+						if i == degradationDefectMember {
+							opts.Defects = dt
+						}
+						return disk.New(s, model, opts)
+					})
+				if err != nil {
+					return DegradationRun{}, err
+				}
+				deathMs := degradationDeathFrac * durationMs
+				plan, err := fault.Compile(fault.Spec{
+					SectorErrors: fault.SectorErrors{
+						Count:       degradationSectorErrors,
+						StartMs:     degradationErrorStartFrac * durationMs,
+						EndMs:       deathMs,
+						UserSectors: per,
+					},
+					Death: &fault.Death{
+						AtMs:         deathMs,
+						Member:       degradationDeadMember,
+						RebuildAtMs:  degradationRebuildFrac * durationMs,
+						ChunkSectors: chunk,
+						Depth:        depth,
+					},
+				}, cfg.Seed)
+				if err != nil {
+					return DegradationRun{}, err
+				}
+				defectLP := pe.LP(1 + degradationDefectMember)
+				inj, err := fault.NewInjector(pe.LP(0), plan, fault.Targets{
+					Defects:     dt,
+					DefectsOn:   defectLP,
+					DefectsSink: lpWrap(defectLP, sink),
+					Array:       arr,
+				}, lpSinkOptions(pe.LP(0), sink, label+"/fault"))
+				if err != nil {
+					return DegradationRun{}, err
+				}
+				inj.Schedule()
+				s, err := hcsdStream(spec, cfg)
+				if err != nil {
+					return DegradationRun{}, err
+				}
+				runner := pe.Runner(0)
+				resp := ReplayStream(runner, arr, s)
+				r := degradationRun(label, arr, resp, runner, sink, inj, cfg.Observe)
 				r.RebuildDepth = depth
 				r.Reallocated = dt.Reallocated()
 				return r, nil

@@ -144,13 +144,21 @@ func WriteRAIDStudy(w io.Writer, r *RAIDStudyResult) {
 // (identical at every worker count), and a drift in it flags a change
 // in the lookahead/window algorithm even when response times survive.
 func WriteLPRAID(w io.Writer, r *LPRAIDResult) {
-	fmt.Fprintf(w, "LP-parallel RAID: %d x HC-SD-SA(%d), RAID-0, inter-arrival %s scaled by %d drives\n",
-		r.Drives, r.Actuators, r.Intensity, r.Drives)
+	level := "RAID-0"
+	if r.Degraded {
+		level = "RAID-5 degraded"
+	}
+	fmt.Fprintf(w, "LP-parallel RAID: %d x HC-SD-SA(%d), %s, inter-arrival %s scaled by %d drives\n",
+		r.Drives, r.Actuators, level, r.Intensity, r.Drives)
 	fmt.Fprintf(w, "  response: %s\n", r.Resp.Summarize())
 	fmt.Fprintf(w, "  CDF:      %s\n", stats.FormatCDFRow(stats.ResponseBucketEdgesMs, r.Resp.ResponseCDF()))
 	fmt.Fprintf(w, "  power:    %s\n", WriteBreakdownBar(r.Power))
 	fmt.Fprintf(w, "  engine:   %d sync windows over %.1f s simulated, %.1f busy LPs/window\n",
 		r.Windows, r.ElapsedMs/1000, float64(r.BusyLPs)/float64(r.Windows))
+	if r.Degraded {
+		fmt.Fprintf(w, "  rebuild:  %d sectors copied over the links, member restored at %.1f ms (%d faults applied)\n",
+			r.CopiedSectors, r.RebuildDoneMs, r.Injected)
+	}
 }
 
 // WriteBreakdownBar renders one power breakdown inline.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/raid"
@@ -35,6 +36,15 @@ type LPRAIDOpts struct {
 	// directly. Zero defers to Config.LPParallel: all cores when set,
 	// one otherwise. Results are byte-identical at every setting.
 	Workers int
+	// Degraded turns the run into the §8 fault scenario on the
+	// partitioned engine: the layout becomes RAID-5 (the array needs
+	// redundancy to survive), one member dies mid-run, and a rebuild
+	// sweeps its extent back over the member links under the same
+	// foreground load. Requires Drives >= 3.
+	Degraded bool
+	// RebuildDepth is the degraded scenario's chunk pipeline depth
+	// (default 4; ignored when Degraded is false).
+	RebuildDepth int
 }
 
 func (o LPRAIDOpts) withDefaults() LPRAIDOpts {
@@ -43,6 +53,9 @@ func (o LPRAIDOpts) withDefaults() LPRAIDOpts {
 	}
 	if o.Actuators == 0 {
 		o.Actuators = 2
+	}
+	if o.RebuildDepth == 0 {
+		o.RebuildDepth = 4
 	}
 	return o
 }
@@ -63,6 +76,15 @@ type LPRAIDResult struct {
 	Resp      *stats.Sample
 	Power     power.Breakdown
 	ElapsedMs float64
+
+	// Degraded-scenario measurements (zero when Opts.Degraded is off):
+	// the sectors the rebuild restored onto the replacement, the
+	// simulated time the member returned to service, and the count of
+	// successfully applied fault-plan events.
+	Degraded      bool
+	CopiedSectors int64
+	RebuildDoneMs float64
+	Injected      uint64
 
 	Events []obs.Event
 	Snap   *obs.Snapshot
@@ -103,7 +125,18 @@ func LPRAID(cfg Config, opts LPRAIDOpts) (*LPRAIDResult, error) {
 	}
 	memberSectors := probe.Capacity()
 
-	layout, err := raid.NewRAID0(opts.Drives, memberSectors, StripeUnitSectors)
+	// The healthy scale run stripes without redundancy; the degraded
+	// scenario needs a layout that can reconstruct, so it runs RAID-5
+	// over the same member set.
+	var layout raid.Layout
+	if opts.Degraded {
+		if opts.Drives < 3 {
+			return nil, fmt.Errorf("experiments: LPRAID degraded needs >= 3 drives, got %d", opts.Drives)
+		}
+		layout, err = raid.NewRAID5(opts.Drives, memberSectors, StripeUnitSectors)
+	} else {
+		layout, err = raid.NewRAID0(opts.Drives, memberSectors, StripeUnitSectors)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +146,7 @@ func LPRAID(cfg Config, opts LPRAIDOpts) (*LPRAIDResult, error) {
 		func(s simkit.Scheduler, i int) (device.Device, error) {
 			return core.New(s, model, core.Config{
 				Actuators: opts.Actuators,
-				Obs:       sinkOptions(sink, fmt.Sprintf("lpraid/m%d", i)),
+				Obs:       lpSinkOptions(pe.LP(1+i), sink, fmt.Sprintf("lpraid/m%d", i)),
 			})
 		})
 	if err != nil {
@@ -129,10 +162,37 @@ func LPRAID(cfg Config, opts LPRAIDOpts) (*LPRAIDResult, error) {
 		return nil, err
 	}
 
+	var inj *fault.Injector
+	if opts.Degraded {
+		// One member dies mid-run and is rebuilt under load, on the
+		// degradation study's timeline fractions. The injector lives on
+		// the controller LP — the only place fail/rebuild calls are
+		// legal on a partitioned array.
+		durationMs := spec.MeanInterArrivalMs * float64(cfg.Requests)
+		extent := layout.(raid.MemberSizer).MemberExtent()
+		chunk := (extent + degradationRebuildChunks - 1) / degradationRebuildChunks
+		plan, err := fault.Compile(fault.Spec{Death: &fault.Death{
+			AtMs:         degradationDeathFrac * durationMs,
+			Member:       opts.Drives / 2,
+			RebuildAtMs:  degradationRebuildFrac * durationMs,
+			ChunkSectors: chunk,
+			Depth:        opts.RebuildDepth,
+		}}, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		inj, err = fault.NewInjector(pe.LP(0), plan, fault.Targets{Array: arr},
+			lpSinkOptions(pe.LP(0), sink, "lpraid/fault"))
+		if err != nil {
+			return nil, err
+		}
+		inj.Schedule()
+	}
+
 	runner := pe.Runner(0)
 	resp := ReplayStream(runner, arr, g)
 	elapsed := runner.Now()
-	return &LPRAIDResult{
+	res := &LPRAIDResult{
 		Drives:    opts.Drives,
 		Actuators: opts.Actuators,
 		Intensity: opts.Intensity,
@@ -141,7 +201,17 @@ func LPRAID(cfg Config, opts LPRAIDOpts) (*LPRAIDResult, error) {
 		Resp:      resp,
 		Power:     arr.Power(elapsed),
 		ElapsedMs: elapsed,
+		Degraded:  opts.Degraded,
 		Events:    cfg.Observe.events(sink),
 		Snap:      cfg.Observe.snap(arr),
-	}, nil
+	}
+	if inj != nil {
+		res.CopiedSectors = inj.CopiedSectors()
+		res.RebuildDoneMs = inj.RebuildDoneMs()
+		res.Injected = inj.Injected()
+		if res.Snap != nil {
+			res.Snap.Children = append(res.Snap.Children, inj.Snapshot())
+		}
+	}
+	return res, nil
 }

@@ -43,25 +43,42 @@ func NewArray(layout Layout, members []device.Device) (*Array, error) {
 	return &Array{layout: layout, members: members, failed: make([]bool, len(members))}, nil
 }
 
+// canFailMember is the shared FailMember precondition: the member index
+// exists, is not already failed, the layout carries redundancy, and no
+// other member is down (single-failure model).
+func canFailMember(layout Layout, failed []bool, i int) error {
+	if i < 0 || i >= len(failed) {
+		return fmt.Errorf("raid: member %d out of range [0,%d)", i, len(failed))
+	}
+	if failed[i] {
+		return fmt.Errorf("raid: member %d already failed", i)
+	}
+	if _, ok := layout.(Reconstructor); !ok {
+		return fmt.Errorf("raid: %s has no redundancy to survive a member failure", layout.Name())
+	}
+	for j, f := range failed {
+		if f && j != i {
+			return fmt.Errorf("raid: member %d already failed; only single failures are supported", j)
+		}
+	}
+	return nil
+}
+
+// CanFailMember reports whether FailMember(i) would currently be
+// accepted, without changing any state. fault.NewInjector calls it at
+// construction time so a plan aimed at an array that cannot degrade
+// (a redundancy-free layout, an out-of-range member) fails fast with a
+// clear error instead of surfacing as runtime refusal counts.
+func (a *Array) CanFailMember(i int) error { return canFailMember(a.layout, a.failed, i) }
+
 // FailMember takes one member disk out of service — the degraded-array
 // mode. Reads that would touch it are reconstructed from the survivors
 // (the layout must implement Reconstructor); writes to it are dropped,
 // with redundancy carried by the plan's surviving writes. Only layouts
 // with redundancy accept failures.
 func (a *Array) FailMember(i int) error {
-	if i < 0 || i >= len(a.members) {
-		return fmt.Errorf("raid: member %d out of range [0,%d)", i, len(a.members))
-	}
-	if a.failed[i] {
-		return fmt.Errorf("raid: member %d already failed", i)
-	}
-	if _, ok := a.layout.(Reconstructor); !ok {
-		return fmt.Errorf("raid: %s has no redundancy to survive a member failure", a.layout.Name())
-	}
-	for j, f := range a.failed {
-		if f && j != i {
-			return fmt.Errorf("raid: member %d already failed; only single failures are supported", j)
-		}
+	if err := canFailMember(a.layout, a.failed, i); err != nil {
+		return err
 	}
 	a.failed[i] = true
 	return nil
@@ -93,29 +110,43 @@ func (a *Array) Degraded() bool {
 // Reconstructed reports how many reads were served by reconstruction.
 func (a *Array) Reconstructed() uint64 { return a.reconstructed }
 
-// effectiveOps rewrites one phase's ops for the current failure state:
-// reads aimed at a failed member expand into reconstruction reads, and
-// writes aimed at it are dropped.
-func (a *Array) effectiveOps(ops []Op) ([]Op, error) {
-	if !a.Degraded() {
-		return ops, nil
-	}
+// degradedOps rewrites one phase's ops for a failure state: reads aimed
+// at a failed member expand into reconstruction reads, writes aimed at
+// it are dropped (redundancy flows through the plan's surviving
+// writes). It returns the rewritten ops and how many reads were served
+// by reconstruction. Shared by Array and Partitioned so both array
+// forms degrade with byte-identical semantics.
+func degradedOps(layout Layout, failed []bool, ops []Op) ([]Op, uint64, error) {
 	var out []Op
+	var reconstructed uint64
 	for _, op := range ops {
-		if !a.failed[op.Dev] {
+		if !failed[op.Dev] {
 			out = append(out, op)
 			continue
 		}
 		if !op.Read {
-			continue // redundancy flows through the plan's surviving writes
+			continue
 		}
-		rec, err := a.layout.(Reconstructor).Reconstruct(op, op.Dev)
+		rec, err := layout.(Reconstructor).Reconstruct(op, op.Dev)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		a.reconstructed++
+		reconstructed++
 		out = append(out, rec...)
 	}
+	return out, reconstructed, nil
+}
+
+// effectiveOps rewrites one phase's ops for the current failure state.
+func (a *Array) effectiveOps(ops []Op) ([]Op, error) {
+	if !a.Degraded() {
+		return ops, nil
+	}
+	out, rec, err := degradedOps(a.layout, a.failed, ops)
+	if err != nil {
+		return nil, err
+	}
+	a.reconstructed += rec
 	return out, nil
 }
 

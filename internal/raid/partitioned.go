@@ -40,9 +40,15 @@ type MemberFunc func(s simkit.Scheduler, i int) (device.Device, error)
 // controller (the legacy Array's direct-call coupling is the
 // zero-latency limit of the same model).
 //
-// Degraded-mode operation (FailMember) is not supported: fault
-// injection targets the single-timeline Array. The partitioned array
-// exists for healthy-path scale runs.
+// Degraded-mode operation mirrors Array: FailMember takes a member out
+// of service (reads reconstructed from survivors, writes dropped), and
+// Rebuild streams the dead member's contents back over the links —
+// survivor reads and reconstruction writes are ordinary cross-LP
+// sends, so the conservative windows and the (at, src LP, src seq)
+// merge order make a degraded run exactly as deterministic as a
+// healthy one. All failure state lives on the controller LP; fail and
+// rebuild calls must come from controller-LP events (which is where a
+// fault injector bound to Controller() runs).
 type Partitioned struct {
 	eng         *par.Engine
 	ctrl        *par.LP
@@ -58,6 +64,12 @@ type Partitioned struct {
 	// execution never races on them.
 	outBusy []float64
 	retBusy []float64
+
+	// failed and reconstructed are controller-LP state, exactly like
+	// Array's: the members never learn they are "failed" — the
+	// controller just stops routing to them and rewrites plans.
+	failed        []bool
+	reconstructed uint64
 
 	submitted uint64
 	completed uint64
@@ -103,6 +115,7 @@ func NewPartitioned(eng *par.Engine, layout Layout, link bus.LinkSpec, sectorByt
 		members:     make([]device.Device, n),
 		outBusy:     make([]float64, n),
 		retBusy:     make([]float64, n),
+		failed:      make([]bool, n),
 	}
 	for i := 0; i < n; i++ {
 		eng.Link(0, 1+i, link.MinLatencyMs())
@@ -121,6 +134,50 @@ func NewPartitioned(eng *par.Engine, layout Layout, link bus.LinkSpec, sectorByt
 
 // Layout returns the array's layout.
 func (p *Partitioned) Layout() Layout { return p.layout }
+
+// CanFailMember reports whether FailMember(i) would currently be
+// accepted, without changing any state — the construction-time
+// preflight fault.NewInjector uses (see Array.CanFailMember).
+func (p *Partitioned) CanFailMember(i int) error { return canFailMember(p.layout, p.failed, i) }
+
+// FailMember takes one member out of service, with Array's exact
+// semantics: future reads touching it are reconstructed from the
+// survivors, future writes to it are dropped, and operations already
+// in flight (including completions crossing the links) finish
+// normally. Must be called from a controller-LP event.
+func (p *Partitioned) FailMember(i int) error {
+	if err := canFailMember(p.layout, p.failed, i); err != nil {
+		return err
+	}
+	p.failed[i] = true
+	return nil
+}
+
+// RepairMember returns a failed member to service (Rebuild does this
+// itself when its sweep completes).
+func (p *Partitioned) RepairMember(i int) error {
+	if i < 0 || i >= len(p.members) {
+		return fmt.Errorf("raid: member %d out of range [0,%d)", i, len(p.members))
+	}
+	if !p.failed[i] {
+		return fmt.Errorf("raid: member %d is not failed", i)
+	}
+	p.failed[i] = false
+	return nil
+}
+
+// Degraded reports whether any member is out of service.
+func (p *Partitioned) Degraded() bool {
+	for _, f := range p.failed {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// Reconstructed reports how many reads were served by reconstruction.
+func (p *Partitioned) Reconstructed() uint64 { return p.reconstructed }
 
 // Capacity reports the array's logical size in sectors.
 func (p *Partitioned) Capacity() int64 { return p.layout.Capacity() }
@@ -154,8 +211,10 @@ func (p *Partitioned) Submit(r trace.Request, done device.Done) {
 
 // runPhase issues one phase's ops across the member links and chains to
 // the next phase when the last completion arrives back at the
-// controller. All closure state (outstanding, lastDone) is touched only
-// in controller-LP events.
+// controller. Under a member failure the phase is first rewritten with
+// Array's degraded semantics (reconstruction reads, dropped writes).
+// All closure state (outstanding, lastDone) is touched only in
+// controller-LP events.
 func (p *Partitioned) runPhase(plan Plan, phase int, lastDone float64, done device.Done) {
 	if phase >= len(plan.Phases) {
 		p.completed++
@@ -165,6 +224,14 @@ func (p *Partitioned) runPhase(plan Plan, phase int, lastDone float64, done devi
 		return
 	}
 	ops := plan.Phases[phase]
+	if p.Degraded() {
+		rewritten, rec, err := degradedOps(p.layout, p.failed, ops)
+		if err != nil {
+			panic(err)
+		}
+		p.reconstructed += rec
+		ops = rewritten
+	}
 	if len(ops) == 0 {
 		p.runPhase(plan, phase+1, lastDone, done)
 		return
@@ -172,23 +239,34 @@ func (p *Partitioned) runPhase(plan Plan, phase int, lastDone float64, done devi
 	outstanding := len(ops)
 	for _, op := range ops {
 		op := op
-		sub := trace.Request{LBA: op.LBA, Sectors: op.Sectors, Read: op.Read}
-		arrive := p.reserveOut(op)
-		p.ctrl.Send(1+op.Dev, arrive, func() {
-			p.members[op.Dev].Submit(sub, func(at float64) {
-				back := p.reserveReturn(op, at)
-				p.eng.LP(1+op.Dev).Send(0, back, func() {
-					if back > lastDone {
-						lastDone = back
-					}
-					outstanding--
-					if outstanding == 0 {
-						p.runPhase(plan, phase+1, lastDone, done)
-					}
-				})
-			})
+		p.issueOp(op, func(back float64) {
+			if back > lastDone {
+				lastDone = back
+			}
+			outstanding--
+			if outstanding == 0 {
+				p.runPhase(plan, phase+1, lastDone, done)
+			}
 		})
 	}
+}
+
+// issueOp moves one member operation over the links: it reserves the
+// outbound link, delivers the command (and a write's payload) to the
+// member's LP, submits to the member device, reserves the return link
+// for the completion (and a read's data), and runs onBack in a
+// controller-LP event at the completion's arrival time. Must be called
+// from controller-LP context; both foreground phases and rebuild
+// traffic go through it, so they share the FIFO link reservations.
+func (p *Partitioned) issueOp(op Op, onBack func(back float64)) {
+	sub := trace.Request{LBA: op.LBA, Sectors: op.Sectors, Read: op.Read}
+	arrive := p.reserveOut(op)
+	p.ctrl.Send(1+op.Dev, arrive, func() {
+		p.members[op.Dev].Submit(sub, func(at float64) {
+			back := p.reserveReturn(op, at)
+			p.eng.LP(1+op.Dev).Send(0, back, func() { onBack(back) })
+		})
+	})
 }
 
 // reserveOut reserves the controller→member link for the op's outbound
@@ -230,18 +308,27 @@ func (p *Partitioned) reserveReturn(op Op, at float64) float64 {
 // produces, so rendering and diffing tools treat both alike.
 func (p *Partitioned) Snapshot() obs.Snapshot {
 	s := obs.Snapshot{
-		Device:     p.layout.Name() + "-partitioned",
-		Kind:       "raid",
-		Submitted:  p.submitted,
-		Completed:  p.completed,
-		Counters:   map[string]uint64{"windows": p.eng.Windows(), "busy_lps": p.eng.BusyLPs()},
+		Device:    p.layout.Name() + "-partitioned",
+		Kind:      "raid",
+		Submitted: p.submitted,
+		Completed: p.completed,
+		Counters: map[string]uint64{
+			"windows":       p.eng.Windows(),
+			"busy_lps":      p.eng.BusyLPs(),
+			"reconstructed": p.reconstructed,
+		},
 		Gauges:     map[string]obs.GaugeValue{},
 		Histograms: map[string]obs.Histogram{},
 	}
-	for _, m := range p.members {
+	failed := uint64(0)
+	for i, m := range p.members {
+		if p.failed[i] {
+			failed++
+		}
 		if in, ok := m.(device.Instrumented); ok {
 			s.Children = append(s.Children, in.Snapshot())
 		}
 	}
+	s.Counters["failed_members"] = failed
 	return s
 }

@@ -89,17 +89,30 @@ func newFlightGroup() *flightGroup {
 // flight. leader reports whether the caller must execute the call (and
 // eventually finish it); either way the caller holds one reference and
 // must detach when done waiting.
-func (g *flightGroup) join(base context.Context, key string, q Query) (c *call, leader bool) {
+//
+// cached is probed under the group lock when no call is in flight; a
+// hit returns (nil, false, body, true) and no call reference. The probe
+// must happen under the same lock that decides leadership: a leader
+// caches its answer strictly before finish removes its call from the
+// group, so a request that misses the map in here is guaranteed to see
+// that answer in the cache — probing before taking the lock leaves a
+// window (answer cached, call already retired) where a second leader
+// would recompute a key it could have served.
+func (g *flightGroup) join(base context.Context, key string, q Query,
+	cached func() ([]byte, bool)) (c *call, leader bool, body []byte, hit bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if c, ok := g.calls[key]; ok {
 		c.refs++
-		return c, false
+		return c, false, nil, false
+	}
+	if body, ok := cached(); ok {
+		return nil, false, body, true
 	}
 	ctx, cancel := context.WithCancel(base)
 	c = &call{key: key, q: q, ctx: ctx, cancel: cancel, done: make(chan struct{}), refs: 1}
 	g.calls[key] = c
-	return c, true
+	return c, true, nil, false
 }
 
 // detach drops one waiter reference. When the last waiter leaves

@@ -351,9 +351,19 @@ func (s *Server) answer(ctx context.Context, q Query, subscribe func(*call) func
 		s.nCacheHits.Add(1)
 		return body, true, nil
 	}
-	s.nCacheMisses.Add(1)
 
-	c, leader := s.flight.join(s.baseCtx, key, q)
+	// Re-probe the cache under the flight lock: a leader for this key
+	// may have cached its answer and retired its call between the probe
+	// above and the join — joining atomically guarantees this request
+	// either attaches to the in-flight call, serves the cached answer,
+	// or is the sole leader (never a duplicate recompute).
+	c, leader, body, hit := s.flight.join(s.baseCtx, key, q,
+		func() ([]byte, bool) { return s.cache.get(key) })
+	if hit {
+		s.nCacheHits.Add(1)
+		return body, true, nil
+	}
+	s.nCacheMisses.Add(1)
 	defer s.flight.detach(c)
 	if subscribe != nil {
 		cleanup := subscribe(c)

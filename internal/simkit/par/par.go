@@ -46,6 +46,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/simkit"
 )
 
@@ -69,6 +70,46 @@ type LP struct {
 
 	outbox  []envelope // sends buffered during the current window
 	sendSeq uint64
+
+	// spans buffers trace events emitted on this LP during the current
+	// window (see WrapSink); flushed to their base sinks at the barrier.
+	spans []spanEntry
+}
+
+// spanEntry is one buffered trace emission: the event plus the sink it
+// is destined for, so one per-LP buffer preserves the interleaving of
+// every emitter on the LP exactly.
+type spanEntry struct {
+	base obs.Sink
+	ev   obs.Event
+}
+
+// lpSink is the WrapSink adapter: emissions append to the owning LP's
+// span buffer, which only that LP's window execution touches.
+type lpSink struct {
+	lp   *LP
+	base obs.Sink
+}
+
+func (s lpSink) Emit(ev obs.Event) {
+	s.lp.spans = append(s.lp.spans, spanEntry{base: s.base, ev: ev})
+}
+
+// WrapSink adapts a trace sink for emission from this LP's events. A
+// sink shared by devices on different LPs is a data race under a
+// parallel window (and even a synchronized sink would record a
+// scheduling-dependent interleaving); the wrapper buffers each LP's
+// emissions locally — race-free by the same ownership partition that
+// protects the event queues — and the engine flushes the buffers at
+// every window barrier in LP order. Per-LP emission order is the firing
+// order, and LP order is how a single worker executes a window, so the
+// flushed stream is byte-identical at every worker count. A nil base
+// returns nil, preserving the disabled-tracer convention.
+func (lp *LP) WrapSink(base obs.Sink) obs.Sink {
+	if base == nil {
+		return nil
+	}
+	return lpSink{lp: lp, base: base}
 }
 
 var _ simkit.Scheduler = (*LP)(nil)
@@ -210,8 +251,16 @@ func (e *Engine) lookahead(src, dst int) (float64, bool) {
 // canonical (at, src, seq) order and clears the outboxes. Delivery
 // assigns each event its destination-local sequence number at merge
 // time, so same-timestamp deliveries fire in merge order — identically
-// at any worker count.
+// at any worker count. It also flushes the per-LP trace buffers (see
+// WrapSink) in LP order — deliver runs single-threaded between windows,
+// which is what makes the flush safe against any base sink.
 func (e *Engine) deliver() {
+	for _, lp := range e.lps {
+		for _, s := range lp.spans {
+			s.base.Emit(s.ev)
+		}
+		lp.spans = lp.spans[:0]
+	}
 	var all []envelope
 	for _, lp := range e.lps {
 		all = append(all, lp.outbox...)
