@@ -4,42 +4,71 @@
 // prints one "file:line:col: [analyzer] message" line per finding,
 // exiting nonzero if there are any.
 //
-//	usage: idplint [-list] [packages]
+//	usage: idplint [-list] [-json] [-strict] [packages]
 //
 // The analyzers encode the invariants DESIGN.md argues in prose: no
-// wall-clock time in simulation packages (wallclock), no global or
-// constant-seeded randomness (globalrand), no concurrency outside the
-// fleet orchestrator (nogoroutine), and no order-dependent effects
-// under map iteration (maporder). A finding is suppressed by an
+// wall-clock time or environment reads in simulation packages
+// (wallclock), no global or constant-seeded randomness (globalrand),
+// no concurrency outside the fleet orchestrator (nogoroutine), no
+// order-dependent effects under map iteration (maporder) — and, for
+// the partitioned engine, the interprocedural invariants of DESIGN.md
+// §11: state confined to its owning logical process (lpconfine),
+// randomness provenance rooted in the config seed (seedflow), and
+// lookahead-respecting cross-LP sends (sendcontract). A finding is
+// suppressed by an
 //
 //	//idplint:allow <analyzer> <reason>
 //
 // directive on the flagged line or the line above it; the reason is
 // mandatory so every exception documents why the invariant still
-// holds.
+// holds. A directive that suppresses nothing is itself reported as
+// stale — exceptions must not outlive their reason — and -strict
+// (which CI enables) turns stale directives into failures.
+//
+// -json emits one JSON object per diagnostic line ({"file", "line",
+// "col", "analyzer", "message"}) for tooling; the default text format
+// is what the CI problem matcher parses into PR annotations.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/passes/globalrand"
+	"repro/internal/analysis/passes/lpconfine"
 	"repro/internal/analysis/passes/maporder"
 	"repro/internal/analysis/passes/nogoroutine"
+	"repro/internal/analysis/passes/seedflow"
+	"repro/internal/analysis/passes/sendcontract"
 	"repro/internal/analysis/passes/wallclock"
 )
 
 var analyzers = []*analysis.Analyzer{
 	globalrand.Analyzer,
+	lpconfine.Analyzer,
 	maporder.Analyzer,
 	nogoroutine.Analyzer,
+	seedflow.Analyzer,
+	sendcontract.Analyzer,
 	wallclock.Analyzer,
+}
+
+// jsonDiag is the -json wire form of one finding, one object per line.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col,omitempty"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line instead of text")
+	strict := flag.Bool("strict", false, "also fail on stale //idplint:allow directives")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
@@ -51,21 +80,48 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load(".", patterns...)
+	prog, err := analysis.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "idplint:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(pkgs, analyzers)
+	diags, stale, err := analysis.Run(prog, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "idplint:", err)
 		os.Exit(2)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
-		fmt.Println(d)
+		if *jsonOut {
+			enc.Encode(jsonDiag{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message})
+		} else {
+			fmt.Println(d)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "idplint: %d finding(s)\n", len(diags))
+	// Stale allow directives are reported in both modes but fail the
+	// run only under -strict: a directive whose finding was fixed is a
+	// cleanup, not an emergency — until CI (which runs -strict) makes
+	// the cleanup happen.
+	for _, s := range stale {
+		if *jsonOut {
+			enc.Encode(jsonDiag{File: s.Pos.Filename, Line: s.Pos.Line,
+				Analyzer: "stale-allow", Message: staleMessage(s)})
+		} else {
+			fmt.Println(s)
+		}
+	}
+	if len(diags) > 0 || (*strict && len(stale) > 0) {
+		fmt.Fprintf(os.Stderr, "idplint: %d finding(s), %d stale allow directive(s)\n", len(diags), len(stale))
 		os.Exit(1)
 	}
+}
+
+func staleMessage(s analysis.StaleAllow) string {
+	if !s.Known {
+		return fmt.Sprintf("//%s %s names no analyzer in this run; the directive is inert",
+			analysis.AllowPrefix, s.Analyzer)
+	}
+	return fmt.Sprintf("//%s %s suppresses no diagnostic; the exception has outlived its reason",
+		analysis.AllowPrefix, s.Analyzer)
 }

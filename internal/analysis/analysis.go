@@ -31,14 +31,64 @@ type Analyzer struct {
 	// enforces, shown by `idplint -help`.
 	Doc string
 	// Run performs the check. It may return an error only for internal
-	// failures; findings go through Pass.Reportf.
+	// failures; findings go through Pass.Reportf. Run sees one package
+	// at a time but may consult Pass.Prog for whole-program context
+	// (call graph, cross-package summaries).
 	Run func(*Pass) error
 }
 
-// A Pass carries one analyzer's view of one package.
+// A Program is the whole set of packages under one analysis run,
+// sharing a single token.FileSet. Interprocedural analyzers reach
+// across package boundaries through it, and cache whole-program
+// summaries (call graphs, taint facts) in it so the work is done once
+// per run, not once per (analyzer, package).
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	byPath map[string]*Package
+	facts  map[string]any
+}
+
+// NewProgram groups typechecked packages into one analysis program.
+// All packages must share one FileSet (Load and LoadFixtureProgram
+// guarantee this).
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{facts: make(map[string]any), byPath: make(map[string]*Package)}
+	for _, pkg := range pkgs {
+		if p.Fset == nil {
+			p.Fset = pkg.Fset
+		}
+		p.Pkgs = append(p.Pkgs, pkg)
+		p.byPath[pkg.Path] = pkg
+	}
+	return p
+}
+
+// Package returns the program's package with the given import path, or
+// nil if the path was not loaded.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// Cached returns the fact stored under key, building and storing it on
+// first use. Analyzers use it to compute one whole-program summary (a
+// call graph, a per-function fact table) bottom-up and share it across
+// every per-package pass of the run. The driver is sequential, so no
+// locking is needed.
+func (p *Program) Cached(key string, build func() any) any {
+	if v, ok := p.facts[key]; ok {
+		return v
+	}
+	v := build()
+	p.facts[key] = v
+	return v
+}
+
+// A Pass carries one analyzer's view of one package, plus the whole
+// program for interprocedural context.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Prog     *Program
 	diags    []Diagnostic
 }
 
@@ -77,6 +127,37 @@ type allowKey struct {
 	line int
 }
 
+// allowDirective is one parsed //idplint:allow comment: the line it
+// covers, the analyzer names it suppresses, and whether each name
+// actually suppressed a diagnostic during the run — a name that never
+// does is stale, and stale exceptions must not outlive their reason.
+type allowDirective struct {
+	pos   token.Position // where the directive itself sits
+	key   allowKey       // the (file, line) it covers
+	names []string
+	used  map[string]bool
+}
+
+// A StaleAllow reports one //idplint:allow name that suppressed no
+// diagnostic in a run over every analyzer it names: either the code it
+// excused was fixed (delete the directive) or the name is not an
+// analyzer at all (fix the typo — the directive is silently inert).
+type StaleAllow struct {
+	Pos      token.Position
+	Analyzer string
+	// Known reports whether Analyzer named an analyzer in the run set.
+	// An unknown name can never suppress anything.
+	Known bool
+}
+
+func (s StaleAllow) String() string {
+	why := "suppresses no diagnostic; the exception has outlived its reason"
+	if !s.Known {
+		why = "names no analyzer in this run; the directive is inert"
+	}
+	return fmt.Sprintf("%s:%d: [stale-allow] //%s %s %s", s.Pos.Filename, s.Pos.Line, AllowPrefix, s.Analyzer, why)
+}
+
 // BadDirectiveError reports a malformed //idplint:allow comment.
 type BadDirectiveError struct {
 	Pos token.Position
@@ -87,11 +168,11 @@ func (e *BadDirectiveError) Error() string {
 	return fmt.Sprintf("%s:%d: bad %s directive: %s", e.Pos.Filename, e.Pos.Line, AllowPrefix, e.Why)
 }
 
-// allowedLines collects the analyzer names each //idplint:allow
-// directive suppresses, keyed by the line it covers: its own line when
-// the directive trails code, the line below when it stands alone.
-func allowedLines(pkg *Package) (map[allowKey]map[string]bool, error) {
-	allowed := make(map[allowKey]map[string]bool)
+// allowedLines collects the package's //idplint:allow directives, each
+// keyed by the line it covers: its own line when the directive trails
+// code, the line below when it stands alone.
+func allowedLines(pkg *Package) ([]*allowDirective, error) {
+	var directives []*allowDirective
 	for _, f := range pkg.Files {
 		codeBefore := codeOffsets(pkg.Fset, f)
 		for _, cg := range f.Comments {
@@ -112,17 +193,34 @@ func allowedLines(pkg *Package) (map[allowKey]map[string]bool, error) {
 				if off, ok := codeBefore[line]; !ok || off >= pos.Offset {
 					line++ // standalone directive: covers the next line
 				}
-				for _, name := range strings.Split(fields[0], ",") {
-					k := allowKey{file: pos.Filename, line: line}
-					if allowed[k] == nil {
-						allowed[k] = make(map[string]bool)
-					}
-					allowed[k][name] = true
-				}
+				directives = append(directives, &allowDirective{
+					pos:   pos,
+					key:   allowKey{file: pos.Filename, line: line},
+					names: strings.Split(fields[0], ","),
+					used:  make(map[string]bool),
+				})
 			}
 		}
 	}
-	return allowed, nil
+	return directives, nil
+}
+
+// suppresses reports whether any directive covers a diagnostic from
+// analyzer name at (file, line), marking every such directive used.
+func suppresses(directives []*allowDirective, file string, line int, name string) bool {
+	hit := false
+	for _, d := range directives {
+		if d.key != (allowKey{file: file, line: line}) {
+			continue
+		}
+		for _, n := range d.names {
+			if n == name {
+				d.used[name] = true
+				hit = true
+			}
+		}
+	}
+	return hit
 }
 
 // codeOffsets maps each line of f holding code to the smallest file
@@ -144,26 +242,41 @@ func codeOffsets(fset *token.FileSet, f *ast.File) map[int]int {
 	return offsets
 }
 
-// Run applies every analyzer to every package, filters findings that an
-// //idplint:allow directive covers, and returns the rest sorted by
-// position. Analyzer errors (not findings) abort the run.
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Run applies every analyzer to every package of the program, filters
+// findings that an //idplint:allow directive covers, and returns the
+// rest sorted by position — together with the stale allow names: every
+// directive entry that suppressed nothing across the whole run, so an
+// exception cannot silently outlive the code it excused. Analyzer
+// errors (not findings) abort the run.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, []StaleAllow, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		allowed, err := allowedLines(pkg)
+	var stale []StaleAllow
+	for _, pkg := range prog.Pkgs {
+		directives, err := allowedLines(pkg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 			for _, d := range pass.diags {
-				if names := allowed[allowKey{file: d.Pos.Filename, line: d.Pos.Line}]; names[a.Name] {
+				if suppresses(directives, d.Pos.Filename, d.Pos.Line, a.Name) {
 					continue
 				}
 				out = append(out, d)
+			}
+		}
+		for _, d := range directives {
+			for _, n := range d.names {
+				if !d.used[n] {
+					stale = append(stale, StaleAllow{Pos: d.pos, Analyzer: n, Known: known[n]})
+				}
 			}
 		}
 	}
@@ -180,7 +293,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, stale, nil
 }
 
 // Inspect walks every file of the pass's package in source order,

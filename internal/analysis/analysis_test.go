@@ -44,12 +44,15 @@ func b(f func()) { go f() }
 
 func a(f func()) { go f() }
 `)
-	diags, err := Run([]*Package{pkg}, []*Analyzer{goStmts})
+	diags, stale, err := Run(NewProgram([]*Package{pkg}), []*Analyzer{goStmts})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(diags) != 2 {
 		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if len(stale) != 0 {
+		t.Errorf("got %d stale allows, want 0: %v", len(stale), stale)
 	}
 	if diags[0].Pos.Line >= diags[1].Pos.Line {
 		t.Errorf("diagnostics not sorted by line: %v", diags)
@@ -78,7 +81,7 @@ func c(f func()) {
 	go f()
 }
 `)
-	diags, err := Run([]*Package{pkg}, []*Analyzer{goStmts})
+	diags, stale, err := Run(NewProgram([]*Package{pkg}), []*Analyzer{goStmts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,6 +90,58 @@ func c(f func()) {
 	}
 	if diags[0].Pos.Line != 5 {
 		t.Errorf("surviving diagnostic at line %d, want 5", diags[0].Pos.Line)
+	}
+	// The othercheck directive in c suppressed nothing (its analyzer is
+	// not even in the run set); the gostmts directives both earned their
+	// keep.
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale allows, want 1: %v", len(stale), stale)
+	}
+	if stale[0].Analyzer != "othercheck" || stale[0].Known {
+		t.Errorf("stale allow = %+v, want unknown analyzer othercheck", stale[0])
+	}
+	if s := stale[0].String(); !strings.Contains(s, "[stale-allow]") || !strings.Contains(s, "othercheck") {
+		t.Errorf("stale allow renders as %q", s)
+	}
+}
+
+func TestStaleAllowDetected(t *testing.T) {
+	pkg := writeFixture(t, `package demo
+
+func a(f func()) {
+	f() //idplint:allow gostmts this call is not a go statement, so the directive is stale
+}
+`)
+	diags, stale, err := Run(NewProgram([]*Package{pkg}), []*Analyzer{goStmts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale allows, want 1: %v", len(stale), stale)
+	}
+	if stale[0].Analyzer != "gostmts" || !stale[0].Known {
+		t.Errorf("stale allow = %+v, want known analyzer gostmts", stale[0])
+	}
+	if stale[0].Pos.Line != 4 {
+		t.Errorf("stale allow at line %d, want 4", stale[0].Pos.Line)
+	}
+}
+
+func TestProgramCached(t *testing.T) {
+	prog := NewProgram(nil)
+	builds := 0
+	build := func() any { builds++; return builds }
+	if got := prog.Cached("k", build); got != 1 {
+		t.Errorf("first Cached = %v, want 1", got)
+	}
+	if got := prog.Cached("k", build); got != 1 {
+		t.Errorf("second Cached = %v, want 1 (cached)", got)
+	}
+	if builds != 1 {
+		t.Errorf("build ran %d times, want 1", builds)
 	}
 }
 
@@ -97,7 +152,7 @@ func a(f func()) {
 	go f() //idplint:allow gostmts
 }
 `)
-	_, err := Run([]*Package{pkg}, []*Analyzer{goStmts})
+	_, _, err := Run(NewProgram([]*Package{pkg}), []*Analyzer{goStmts})
 	if err == nil || !strings.Contains(err.Error(), "missing reason") {
 		t.Fatalf("got error %v, want missing-reason directive error", err)
 	}
@@ -137,20 +192,26 @@ func TestIsSimPackage(t *testing.T) {
 }
 
 func TestLoadModulePackages(t *testing.T) {
-	pkgs, err := Load("../..", "./internal/analysis/...", "./cmd/idplint")
+	prog, err := Load("../..", "./internal/analysis/...", "./cmd/idplint")
 	if err != nil {
 		t.Fatal(err)
 	}
 	paths := make(map[string]bool)
-	for _, p := range pkgs {
+	for _, p := range prog.Pkgs {
 		paths[p.Path] = true
 		if p.Types == nil || p.TypesInfo == nil {
 			t.Errorf("%s: missing type information", p.Path)
+		}
+		if p.Fset != prog.Fset {
+			t.Errorf("%s: package FileSet differs from the program's", p.Path)
 		}
 	}
 	for _, want := range []string{"repro/internal/analysis", "repro/cmd/idplint"} {
 		if !paths[want] {
 			t.Errorf("Load did not return %s (got %v)", want, paths)
+		}
+		if prog.Package(want) == nil {
+			t.Errorf("Program.Package(%q) = nil", want)
 		}
 	}
 }

@@ -41,37 +41,54 @@ type expectation struct {
 	met  bool
 }
 
-// Run loads each fixture package (an import path below testdata/src),
-// applies the analyzer, and reports any mismatch between its findings
-// and the fixtures' // want directives as test errors.
+// Run loads each fixture package (an import path below testdata/src)
+// as its own single-package program, applies the analyzer, and reports
+// any mismatch between its findings and the fixtures' // want
+// directives as test errors. Packages that must see each other — an
+// interprocedural fixture whose constructor and call sites live in
+// different packages — go through RunProgram instead.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
 	t.Helper()
 	for _, ip := range importPaths {
-		pkg, err := analysis.LoadFixture(filepath.Join(testdata, "src", filepath.FromSlash(ip)), ip)
+		RunProgram(t, testdata, a, ip)
+	}
+}
+
+// RunProgram loads all the fixture packages into one program — fixture
+// packages may import one another — applies the analyzer to every
+// package of it, and checks the findings against the fixtures' // want
+// directives across the whole program.
+func RunProgram(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	label := strings.Join(importPaths, "+")
+	prog, err := analysis.LoadFixtureProgram(filepath.Join(testdata, "src"), importPaths...)
+	if err != nil {
+		t.Errorf("loading fixtures %s: %v", label, err)
+		return
+	}
+	var wants []*expectation
+	for _, pkg := range prog.Pkgs {
+		w, err := parseWants(pkg)
 		if err != nil {
-			t.Errorf("loading fixture %s: %v", ip, err)
-			continue
+			t.Errorf("fixture %s: %v", pkg.Path, err)
+			return
 		}
-		wants, err := parseWants(pkg)
-		if err != nil {
-			t.Errorf("fixture %s: %v", ip, err)
-			continue
+		wants = append(wants, w...)
+	}
+	diags, _, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Errorf("running %s on %s: %v", a.Name, label, err)
+		return
+	}
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("%s: unexpected finding: %s", label, d)
 		}
-		diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Errorf("running %s on %s: %v", a.Name, ip, err)
-			continue
-		}
-		for _, d := range diags {
-			if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
-				t.Errorf("%s: unexpected finding: %s", ip, d)
-			}
-		}
-		for _, w := range wants {
-			if !w.met {
-				t.Errorf("%s: %s:%d: expected a finding matching %q, got none",
-					ip, w.file, w.line, w.re)
-			}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: %s:%d: expected a finding matching %q, got none",
+				label, w.file, w.line, w.re)
 		}
 	}
 }

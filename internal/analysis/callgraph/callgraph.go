@@ -1,0 +1,218 @@
+// Package callgraph builds a static call graph over an analysis
+// Program: one node per function — declarations and function literals
+// alike — with edges for every call whose callee go/types can resolve
+// statically (direct calls, method calls through a concrete receiver,
+// package-qualified calls). Interface dispatch resolves to the
+// interface's method object, so a caller index keyed by the concrete
+// implementation sees only direct calls — the conservative choice for
+// the analyzers built on top: they treat dynamic calls as unknown
+// rather than guessing.
+//
+// The graph is the shared substrate of idplint's interprocedural
+// passes: seedflow walks caller edges backwards to check the arguments
+// feeding a seed parameter, and lpconfine propagates LP execution
+// contexts forwards from event-arming sites through the bodies they
+// reach. Both obtain it once per run through Program.Cached, so the
+// build cost is paid once regardless of how many analyzers or packages
+// the run covers.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// A Node is one function in the graph: either a declaration (Obj,
+// Decl set) or a function literal (Lit set, Parent the enclosing
+// function).
+type Node struct {
+	Obj    *types.Func   // declared object; nil for literals
+	Decl   *ast.FuncDecl // nil for literals
+	Lit    *ast.FuncLit  // nil for declarations
+	Pkg    *analysis.Package
+	Parent *Node // lexically enclosing function, nil for declarations
+
+	// Calls lists the call sites lexically inside this node's body,
+	// excluding those inside nested function literals (they belong to
+	// the literal's own node).
+	Calls []*Call
+}
+
+// Body returns the node's function body (nil for a bodyless
+// declaration, e.g. an assembly stub).
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Decl.Body
+}
+
+// Name returns a human-readable label for diagnostics.
+func (n *Node) Name() string {
+	if n.Obj != nil {
+		return n.Obj.Name()
+	}
+	if n.Parent != nil {
+		return "func literal in " + n.Parent.Name()
+	}
+	return "func literal"
+}
+
+// A Call is one call site: the syntax, the node it sits in, and the
+// statically resolved callee (nil when the callee is a function value,
+// builtin, or otherwise unresolvable).
+type Call struct {
+	Site   *ast.CallExpr
+	Caller *Node
+	Callee *types.Func
+}
+
+// A Graph indexes every function of a program.
+type Graph struct {
+	Nodes []*Node
+
+	ByObj map[*types.Func]*Node
+	ByLit map[*ast.FuncLit]*Node
+
+	callers map[*types.Func][]*Call
+	params  map[*types.Var]paramRef
+}
+
+type paramRef struct {
+	owner *Node
+	index int
+}
+
+// Build constructs the call graph for every package of the program.
+func Build(prog *analysis.Program) *Graph {
+	g := &Graph{
+		ByObj:   make(map[*types.Func]*Node),
+		ByLit:   make(map[*ast.FuncLit]*Node),
+		callers: make(map[*types.Func][]*Call),
+		params:  make(map[*types.Var]paramRef),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				n := &Node{Decl: fd, Pkg: pkg}
+				if obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					n.Obj = obj
+					g.ByObj[obj] = n
+				}
+				g.Nodes = append(g.Nodes, n)
+				g.recordParams(pkg, fd.Type, n)
+				g.walkBody(pkg, fd.Body, n)
+			}
+		}
+	}
+	return g
+}
+
+// recordParams maps each named parameter object to its owning node and
+// position, so a pass holding a *types.Var can find the function whose
+// callers bind it.
+func (g *Graph) recordParams(pkg *analysis.Package, ft *ast.FuncType, n *Node) {
+	if ft.Params == nil {
+		return
+	}
+	i := 0
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			i++ // unnamed parameter still occupies a position
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pkg.TypesInfo.Defs[name].(*types.Var); ok {
+				g.params[v] = paramRef{owner: n, index: i}
+			}
+			i++
+		}
+	}
+}
+
+// walkBody records the call sites of body under node cur, descending
+// into nested literals with their own nodes.
+func (g *Graph) walkBody(pkg *analysis.Package, body ast.Node, cur *Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			child := &Node{Lit: n, Pkg: pkg, Parent: cur}
+			g.ByLit[n] = child
+			g.Nodes = append(g.Nodes, child)
+			g.recordParams(pkg, n.Type, child)
+			g.walkBody(pkg, n.Body, child)
+			return false
+		case *ast.CallExpr:
+			callee := StaticCallee(pkg.TypesInfo, n)
+			call := &Call{Site: n, Caller: cur, Callee: callee}
+			cur.Calls = append(cur.Calls, call)
+			if callee != nil {
+				g.callers[callee] = append(g.callers[callee], call)
+			}
+		}
+		return true
+	})
+}
+
+// Callers returns every statically resolved call site of fn across the
+// program.
+func (g *Graph) Callers(fn *types.Func) []*Call { return g.callers[fn] }
+
+// Param resolves a parameter object to its owning function node and
+// zero-based position (receivers are not parameters). The second
+// result is false when v is not a recorded parameter.
+func (g *Graph) Param(v *types.Var) (*Node, int, bool) {
+	ref, ok := g.params[v]
+	return ref.owner, ref.index, ok
+}
+
+// Argument returns the expression bound to parameter index at the call
+// site, or nil when the call does not supply it positionally (variadic
+// overflow mismatch, f(g()) forwarding).
+func Argument(call *ast.CallExpr, index int) ast.Expr {
+	if index < 0 || index >= len(call.Args) {
+		return nil
+	}
+	return call.Args[index]
+}
+
+// StaticCallee resolves the called function object of a call
+// expression, or nil for builtins, conversions, and function values.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion
+	}
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn // package-qualified call
+		}
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

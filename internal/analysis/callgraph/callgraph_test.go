@@ -1,0 +1,130 @@
+package callgraph
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeProgram lays two cross-importing fixture packages under a
+// temporary src root, exercising the same multi-package loading path
+// the interprocedural analyzers' testdata uses.
+func writeProgram(t *testing.T) *analysis.Program {
+	t.Helper()
+	src := t.TempDir()
+	lib := filepath.Join(src, "repro", "internal", "cglib")
+	app := filepath.Join(src, "repro", "internal", "cgapp")
+	for dir, code := range map[string]string{
+		lib: `package cglib
+
+func Derive(seed int64) int64 { return seed * 3 }
+
+type T struct{}
+
+func (T) Method(x int) int { return x }
+`,
+		app: `package cgapp
+
+import "repro/internal/cglib"
+
+func Use(seed int64) int64 {
+	f := func(s int64) int64 { return cglib.Derive(s) }
+	var tt cglib.T
+	tt.Method(1)
+	return f(seed)
+}
+`,
+	} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(code), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := analysis.LoadFixtureProgram(src, "repro/internal/cgapp", "repro/internal/cglib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func lookupFunc(t *testing.T, prog *analysis.Program, path, name string) *types.Func {
+	t.Helper()
+	pkg := prog.Package(path)
+	if pkg == nil {
+		t.Fatalf("program has no package %s", path)
+	}
+	obj := pkg.Types.Scope().Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("%s.%s is %T, want *types.Func", path, name, obj)
+	}
+	return fn
+}
+
+func TestBuildResolvesCrossPackageCallers(t *testing.T) {
+	prog := writeProgram(t)
+	g := Build(prog)
+
+	derive := lookupFunc(t, prog, "repro/internal/cglib", "Derive")
+	callers := g.Callers(derive)
+	if len(callers) != 1 {
+		t.Fatalf("Derive has %d callers, want 1", len(callers))
+	}
+	c := callers[0]
+	if c.Caller.Lit == nil {
+		t.Errorf("Derive's caller is %s, want the function literal inside Use", c.Caller.Name())
+	}
+	if c.Caller.Parent == nil || c.Caller.Parent.Obj == nil || c.Caller.Parent.Obj.Name() != "Use" {
+		t.Errorf("literal's parent = %v, want Use", c.Caller.Parent)
+	}
+	if Argument(c.Site, 0) == nil {
+		t.Errorf("Argument(site, 0) = nil, want the seed expression")
+	}
+}
+
+func TestParamResolution(t *testing.T) {
+	prog := writeProgram(t)
+	g := Build(prog)
+
+	derive := lookupFunc(t, prog, "repro/internal/cglib", "Derive")
+	seed := derive.Type().(*types.Signature).Params().At(0)
+	owner, idx, ok := g.Param(seed)
+	if !ok || idx != 0 {
+		t.Fatalf("Param(seed) = %v, %d, %v; want node, 0, true", owner, idx, ok)
+	}
+	if owner.Obj != derive {
+		t.Errorf("seed's owner is %s, want Derive", owner.Name())
+	}
+}
+
+func TestMethodCallResolution(t *testing.T) {
+	prog := writeProgram(t)
+	g := Build(prog)
+
+	use := lookupFunc(t, prog, "repro/internal/cgapp", "Use")
+	node := g.ByObj[use]
+	if node == nil {
+		t.Fatal("no node for Use")
+	}
+	var sawMethod bool
+	for _, c := range node.Calls {
+		if c.Callee != nil && c.Callee.Name() == "Method" {
+			sawMethod = true
+		}
+	}
+	if !sawMethod {
+		t.Errorf("Use's calls did not resolve tt.Method: %v", node.Calls)
+	}
+	// The literal's own call (f(seed)) is a function value: recorded
+	// with a nil callee, under the literal's node, not Use's.
+	for _, c := range node.Calls {
+		if c.Callee != nil && c.Callee.Name() == "Derive" {
+			t.Errorf("Derive call attributed to Use; it belongs to the nested literal")
+		}
+	}
+}

@@ -41,15 +41,25 @@ type listPackage struct {
 }
 
 // Load expands patterns (e.g. "./...") relative to dir with the go
-// command and typechecks every matched package from source. Imports —
-// stdlib and intra-module alike — resolve through the compiler's
-// export data reported by `go list -export`, so the loader needs no
-// third-party machinery and never re-typechecks dependencies.
+// command and typechecks every matched package from source. Module
+// packages — matched roots and their in-module dependencies alike —
+// are typechecked from source in dependency order (the order `go list
+// -deps` emits), so a dependent package's view of an imported function
+// or field is the *same* types.Object the defining package produced;
+// that cross-package object identity is what lets the interprocedural
+// analyzers resolve call sites in one package against declarations in
+// another. Standard-library imports resolve through the compiler's
+// export data reported by `go list -export` — the loader needs no
+// third-party machinery.
 //
 // Only non-test files are loaded: the determinism contract applies to
 // simulation code, while tests are free to use wall-clock timeouts,
 // goroutines, and throwaway RNGs.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+//
+// All packages share one FileSet. The returned Program's Pkgs hold
+// only the matched roots — in-module dependencies outside the
+// patterns are typechecked for identity but not analyzed.
+func Load(dir string, patterns ...string) (*Program, error) {
 	args := append([]string{"list", "-e", "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error", "-export", "-deps"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -60,8 +70,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
 	}
 
+	// go list -deps emits dependencies before dependents; keep that
+	// order for the source typechecking below. Module packages are
+	// deliberately left out of the export map so an ordering bug
+	// surfaces as a loud "no export data" error instead of silently
+	// splitting a package into two incompatible object worlds.
 	exports := make(map[string]string)
-	var roots []listPackage
+	var module []listPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPackage
@@ -73,19 +88,22 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Error != nil {
 			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
 		}
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+		if p.Standard {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+			continue
 		}
-		if !p.Standard && !p.DepOnly {
-			roots = append(roots, p)
-		}
+		module = append(module, p)
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
 
 	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
-	pkgs := make([]*Package, 0, len(roots))
-	for _, p := range roots {
+	imp := &fixtureImporter{
+		done: make(map[string]*types.Package, len(module)),
+		ext:  exportImporter(fset, exports),
+	}
+	var pkgs []*Package
+	for _, p := range module {
 		files := make([]string, len(p.GoFiles))
 		for i, name := range p.GoFiles {
 			files[i] = filepath.Join(p.Dir, name)
@@ -94,9 +112,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
+		imp.done[p.ImportPath] = pkg.Types
+		if !p.DepOnly {
+			pkgs = append(pkgs, pkg)
+		}
 	}
-	return pkgs, nil
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return NewProgram(pkgs), nil
 }
 
 // exportImporter resolves import paths to types.Packages by reading the
@@ -121,6 +143,11 @@ func check(fset *token.FileSet, imp types.Importer, path string, files []string)
 		}
 		asts = append(asts, f)
 	}
+	return checkFiles(fset, imp, path, asts)
+}
+
+// checkFiles typechecks already-parsed files as one package.
+func checkFiles(fset *token.FileSet, imp types.Importer, path string, asts []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -137,49 +164,103 @@ func check(fset *token.FileSet, imp types.Importer, path string, files []string)
 
 // LoadFixture typechecks the single package rooted at dir as import
 // path importPath, for the directive-comment fixture harness. Fixture
-// files may import only the standard library; export data for those
-// imports is resolved with one `go list -export` over the imports the
-// files actually name.
+// files may import the standard library and — when dir sits inside the
+// module, as testdata does — real packages of this module; export data
+// is resolved with one `go list -export` over the imports the files
+// actually name.
 func LoadFixture(dir, importPath string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	prog, err := loadFixtureDirs(map[string]string{importPath: dir}, []string{importPath}, dir)
 	if err != nil {
 		return nil, err
 	}
-	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
-			files = append(files, filepath.Join(dir, e.Name()))
-		}
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("no Go files in %s", dir)
-	}
+	return prog.Pkgs[0], nil
+}
 
-	// First parse pass: discover the imports the fixture needs.
+// LoadFixtureProgram typechecks several fixture packages below srcDir
+// (an analyzer's testdata/src directory; each import path names the
+// directory srcDir/<path>) as one Program sharing one FileSet. Fixture
+// packages may import the standard library, real packages of this
+// module, and each other — cross-fixture imports are typechecked from
+// source in dependency order, which is what multi-package
+// interprocedural fixtures need (a constructor in one package, its
+// call sites in another).
+func LoadFixtureProgram(srcDir string, importPaths ...string) (*Program, error) {
+	dirs := make(map[string]string, len(importPaths))
+	for _, ip := range importPaths {
+		dirs[ip] = filepath.Join(srcDir, filepath.FromSlash(ip))
+	}
+	return loadFixtureDirs(dirs, importPaths, srcDir)
+}
+
+// fixtureImporter resolves imports from the packages already
+// typechecked this load — module packages under Load, sibling fixtures
+// under the fixture loaders — and everything else from compiler export
+// data.
+type fixtureImporter struct {
+	done map[string]*types.Package
+	ext  types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p := fi.done[path]; p != nil {
+		return p, nil
+	}
+	return fi.ext.Import(path)
+}
+
+// loadFixtureDirs parses every fixture package, resolves the imports
+// that are not themselves fixtures with one `go list -export` run from
+// listDir, and typechecks the fixtures in dependency order.
+func loadFixtureDirs(dirs map[string]string, order []string, listDir string) (*Program, error) {
 	fset := token.NewFileSet()
-	imports := make(map[string]bool)
-	for _, file := range files {
-		f, err := parser.ParseFile(fset, file, nil, parser.ImportsOnly)
+	asts := make(map[string][]*ast.File, len(dirs))
+	external := make(map[string]bool)
+	paths := make([]string, 0, len(dirs))
+	for ip := range dirs {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		dir := dirs[ip]
+		entries, err := os.ReadDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		for _, spec := range f.Imports {
-			p, err := importPathOf(spec)
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 			if err != nil {
 				return nil, err
 			}
-			imports[p] = true
+			files = append(files, f)
+			for _, spec := range f.Imports {
+				p, err := importPathOf(spec)
+				if err != nil {
+					return nil, err
+				}
+				if _, isFixture := dirs[p]; !isFixture {
+					external[p] = true
+				}
+			}
 		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		asts[ip] = files
 	}
+
 	exports := make(map[string]string)
-	if len(imports) > 0 {
+	if len(external) > 0 {
 		args := []string{"list", "-json=ImportPath,Export", "-export", "-deps"}
-		for p := range imports {
+		for p := range external {
 			args = append(args, p)
 		}
 		sort.Strings(args[4:])
 		cmd := exec.Command("go", args...)
-		cmd.Dir = dir
+		cmd.Dir = listDir
 		var stderr bytes.Buffer
 		cmd.Stderr = &stderr
 		out, err := cmd.Output()
@@ -199,7 +280,47 @@ func LoadFixture(dir, importPath string) (*Package, error) {
 			}
 		}
 	}
-	return check(fset, exportImporter(fset, exports), importPath, files)
+
+	imp := &fixtureImporter{
+		done: make(map[string]*types.Package, len(dirs)),
+		ext:  exportImporter(fset, exports),
+	}
+	checked := make(map[string]*Package, len(dirs))
+	for len(checked) < len(dirs) {
+		progress := false
+		for _, ip := range order {
+			if checked[ip] != nil {
+				continue
+			}
+			ready := true
+			for _, f := range asts[ip] {
+				for _, spec := range f.Imports {
+					p, _ := importPathOf(spec)
+					if _, isFixture := dirs[p]; isFixture && imp.done[p] == nil {
+						ready = false
+					}
+				}
+			}
+			if !ready {
+				continue
+			}
+			pkg, err := checkFiles(fset, imp, ip, asts[ip])
+			if err != nil {
+				return nil, err
+			}
+			checked[ip] = pkg
+			imp.done[ip] = pkg.Types
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("fixture packages %v: import cycle among fixtures", order)
+		}
+	}
+	pkgs := make([]*Package, 0, len(order))
+	for _, ip := range order {
+		pkgs = append(pkgs, checked[ip])
+	}
+	return NewProgram(pkgs), nil
 }
 
 func importPathOf(spec *ast.ImportSpec) (string, error) {

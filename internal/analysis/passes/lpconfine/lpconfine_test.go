@@ -1,0 +1,17 @@
+package lpconfine_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/lpconfine"
+)
+
+// The two fixture packages load as one program: confix holds the
+// controller aggregate and the helpers (the write flagged through the
+// call chain lands there), conapp the event-arming sites whose Send
+// destinations decide each literal's LP context.
+func TestLPConfine(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", lpconfine.Analyzer,
+		"repro/internal/confix", "repro/internal/conapp")
+}

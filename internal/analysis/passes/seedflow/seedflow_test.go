@@ -1,0 +1,17 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/seedflow"
+)
+
+// The two fixture packages load as one program: seedfix holds the
+// constructors, seedapp the call sites whose arguments decide the
+// findings — the interprocedural case Run's per-package loading
+// cannot express.
+func TestSeedFlow(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", seedflow.Analyzer,
+		"repro/internal/seedfix", "repro/internal/seedapp")
+}

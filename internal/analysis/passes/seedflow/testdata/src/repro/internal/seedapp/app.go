@@ -1,0 +1,53 @@
+// Package seedapp drives seedfix's constructors: the arguments at
+// these call sites decide which constructor sites upstream are
+// flagged, so the fixture's wants all live in seedfix.
+package seedapp
+
+import (
+	"time"
+
+	"repro/internal/seedfix"
+)
+
+// Config carries the derivation root the contract blesses.
+type Config struct{ Seed int64 }
+
+// Good derives a per-stream seed from the config root: silent.
+func Good(cfg Config, i int) *seedfix.Gen {
+	return seedfix.New(cfg.Seed + int64(i))
+}
+
+// Mixed derives through the helper's return summary: silent.
+func Mixed(cfg Config) *seedfix.Gen {
+	return seedfix.New(seedfix.Mix(cfg.Seed, 3))
+}
+
+// Jobs returns a closure whose seed parameter the (shell) fleet
+// supplies at run time — invisible to static analysis, so the
+// obligation discharges: silent.
+func Jobs() func(int64) *seedfix.Gen {
+	return func(seed int64) *seedfix.Gen { return seedfix.New(seed) }
+}
+
+// Facade mirrors repro's exported constructors: no static caller in
+// the program, so the seed is the external caller's to justify: silent.
+func Facade(seed int64) *seedfix.Gen {
+	return seedfix.New(seed)
+}
+
+// Entropy feeds fresh wall-clock entropy into the chain; the
+// constructor inside seedfix.NewTimed is flagged, not this line.
+func Entropy() *seedfix.Gen {
+	return seedfix.NewTimed(time.Now().UnixNano())
+}
+
+// Opts plumbs the root through a struct field: silent.
+func Opts(cfg Config) *seedfix.Gen {
+	return seedfix.FromOpts(seedfix.Options{S: cfg.Seed})
+}
+
+// RawOpts bakes a constant into the field; seedfix.FromRaw's
+// constructor is flagged even though no literal reaches it directly.
+func RawOpts() *seedfix.Gen {
+	return seedfix.FromRaw(seedfix.Raw{N: 42})
+}

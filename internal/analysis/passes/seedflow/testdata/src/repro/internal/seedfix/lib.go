@@ -1,0 +1,59 @@
+// Package seedfix is the library half of the seedflow fixture: the
+// rand constructors live here while their callers sit in seedapp, so
+// every finding (and every silence) requires following the seed across
+// the package boundary — exactly what the intraprocedural globalrand
+// pass cannot do.
+package seedfix
+
+import "math/rand"
+
+// shared is a process-wide stream: flagged by type alone, because a
+// stream shared across fleet jobs makes draws depend on job
+// interleaving no matter how it was seeded.
+var shared = rand.New(rand.NewSource(1)) // want "package-level random stream"
+
+// Gen is a seeded generator like trace.Generator or workload.Generator.
+type Gen struct{ rng *rand.Rand }
+
+// Draw consumes the stream so the fixture mirrors real constructors.
+func (g *Gen) Draw() float64 {
+	if g == nil {
+		return shared.Float64()
+	}
+	return g.rng.Float64()
+}
+
+// New is the well-plumbed constructor: every simulation caller derives
+// its seed from the config root, so this site stays silent.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewTimed is identical code — but one sim caller (seedapp.Entropy)
+// feeds it wall-clock entropy, so the constructor site is flagged.
+func NewTimed(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))} // want "underived argument"
+}
+
+// Options plumbs a seed through a struct field; every assignment of S
+// in the program derives, so FromOpts stays silent.
+type Options struct{ S int64 }
+
+func FromOpts(o Options) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(o.S))}
+}
+
+// Raw's field N is assigned a bare constant in seedapp — no literal
+// appears at this constructor, which is why only a field-tracking pass
+// can catch it.
+type Raw struct{ N int64 }
+
+func FromRaw(r Raw) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(r.N))} // want "field N is assigned an underived value"
+}
+
+// Mix is a derivation helper checked by return summary: its result is
+// derived exactly when its base argument is.
+func Mix(base int64, i int) int64 {
+	return base*2654435761 + int64(i)
+}

@@ -1,0 +1,287 @@
+// Package sendcontract checks par.Engine.Link and par.LP.Send call
+// sites for statically decidable violations of the conservative-window
+// contract (DESIGN.md §11). The engine enforces the same contract by
+// panic at runtime — but only on the executed path at the executed
+// worker count; this pass promotes every violation the type checker
+// can fold to a CI-time finding:
+//
+//   - Link with a non-positive constant lookahead: a zero-lookahead
+//     channel admits no conservative window, which is exactly why
+//     zero-latency couplings must live inside one LP.
+//   - Link from an LP to itself: self-scheduling is At/After, not Send.
+//   - Send whose timestamp is exactly Now(), or Now() plus a
+//     non-positive constant: the send cannot respect any positive
+//     lookahead.
+//   - Send at Now()+c where c, the link's declared lookahead, and the
+//     (src, dst) pair are all constants and c is below the lookahead.
+//   - Send to a destination with no declared link, when the enclosing
+//     function builds its whole link table from constants (a partial
+//     or data-driven table disables this check rather than guessing).
+//
+// The checks are per enclosing function declaration: a link table
+// declared in a constructor and consulted by a Send in another
+// function is runtime-checked as before — this pass only hardens what
+// is locally provable, and stays silent otherwise.
+package sendcontract
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+const parPath = "repro/internal/simkit/par"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sendcontract",
+	Doc: "flag statically detectable lookahead violations at par.Engine.Link and par.LP.Send sites: " +
+		"non-positive or below-lookahead constant offsets, self-links, and sends over undeclared " +
+		"constant link tables",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// linkKey is one constant (src, dst) channel of a function-local table.
+type linkKey struct{ src, dst int64 }
+
+// funcLinks is the constant link table one function declares on one
+// engine expression, and whether every Link call on that engine was
+// fully constant — only then is the table complete enough to prove a
+// send pair undeclared.
+type funcLinks struct {
+	table    map[linkKey]constant.Value // lookahead per constant pair
+	complete bool
+}
+
+// lpID identifies which LP a local variable denotes: the engine
+// expression it came from and the constant index, when known.
+type lpID struct {
+	eng string // types.ExprString of the engine expression
+	idx constant.Value
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.TypesInfo
+
+	// Pass 1: collect the constant link tables and the locals bound to
+	// eng.LP(const), so pass 2 can resolve a send's (src, dst) pair.
+	links := make(map[string]*funcLinks)
+	lpVars := make(map[types.Object]lpID)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if eng, idx, ok := asEngineLP(info, rhs); ok {
+					lpVars[obj] = lpID{eng: eng, idx: idx}
+				}
+			}
+		case *ast.CallExpr:
+			recv, ok := parMethod(info, n, "Link")
+			if !ok || len(n.Args) != 3 {
+				return true
+			}
+			eng := types.ExprString(recv)
+			fl := links[eng]
+			if fl == nil {
+				fl = &funcLinks{table: make(map[linkKey]constant.Value), complete: true}
+				links[eng] = fl
+			}
+			src, sOK := constInt(info, n.Args[0])
+			dst, dOK := constInt(info, n.Args[1])
+			la := constValue(info, n.Args[2])
+			if !sOK || !dOK || la == nil {
+				fl.complete = false
+			} else {
+				fl.table[linkKey{src, dst}] = la
+			}
+			if la != nil && constant.Sign(la) <= 0 {
+				pass.Reportf(n.Args[2].Pos(), "Link with non-positive lookahead %v: a zero-lookahead channel admits no conservative window, so this pair cannot be partitioned", la)
+			}
+			if sOK && dOK && src == dst {
+				pass.Reportf(n.Pos(), "Link(%d, %d) declares a channel from an LP to itself: an LP schedules locally with At/After, not Send", src, dst)
+			}
+		}
+		return true
+	})
+
+	// Pass 2: check every Send against the local facts.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := parMethod(info, call, "Send")
+		if !ok || len(call.Args) != 3 {
+			return true
+		}
+		// Which LP sends? Either the receiver is eng.LP(const) inline,
+		// or a local previously bound to one.
+		var src lpID
+		if eng, idx, ok := asEngineLP(info, recv); ok {
+			src = lpID{eng: eng, idx: idx}
+		} else if id, ok := recv.(*ast.Ident); ok {
+			src = lpVars[info.ObjectOf(id)]
+		}
+		dst, dstOK := constInt(info, call.Args[0])
+
+		if dstOK && src.idx != nil {
+			if s, ok := constant.Int64Val(src.idx); ok && s == dst {
+				pass.Reportf(call.Pos(), "Send from LP %d to itself: an LP schedules locally with At/After, not Send", dst)
+				return true // self-send subsumes the channel checks below
+			}
+		}
+
+		now, offset := sendOffset(info, call.Args[1])
+		if now {
+			switch {
+			case offset == nil:
+				pass.Reportf(call.Args[1].Pos(), "Send at Now(): a cross-LP send must advance at least the link's lookahead into the future")
+				return true
+			case constant.Sign(offset) <= 0:
+				pass.Reportf(call.Args[1].Pos(), "Send at Now()%+v: the offset is not positive, so no positive lookahead can hold", offset)
+				return true
+			}
+		}
+
+		// With a constant pair and a function-local constant table we
+		// can compare against the declared lookahead — or prove the
+		// pair undeclared.
+		if !dstOK || src.idx == nil {
+			return true
+		}
+		fl := links[src.eng]
+		if fl == nil || len(fl.table) == 0 {
+			return true
+		}
+		s, _ := constant.Int64Val(src.idx)
+		la, declared := fl.table[linkKey{s, dst}]
+		if !declared {
+			if fl.complete {
+				pass.Reportf(call.Pos(), "Send %d->%d has no declared Link in this function's constant link table: every cross-LP channel must be declared with its lookahead", s, dst)
+			}
+			return true
+		}
+		if now && offset != nil && constant.Compare(offset, token.LSS, la) {
+			pass.Reportf(call.Args[1].Pos(), "Send %d->%d at Now()+%v is below the declared lookahead %v: the engine will panic on this path at any worker count", s, dst, offset, la)
+		}
+		return true
+	})
+}
+
+// parMethod reports whether call invokes the named method of the par
+// package, returning the receiver expression.
+func parMethod(info *types.Info, call *ast.CallExpr, name string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != parPath {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// asEngineLP matches the expression eng.LP(idx), returning the engine
+// expression's canonical string and the constant index when idx folds.
+func asEngineLP(info *types.Info, e ast.Expr) (string, constant.Value, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return "", nil, false
+	}
+	recv, ok := parMethod(info, call, "LP")
+	if !ok {
+		return "", nil, false
+	}
+	return types.ExprString(recv), constValue(info, call.Args[0]), true
+}
+
+// sendOffset decomposes a send timestamp of the shape Now(), Now()+c,
+// c+Now(), or Now()-c. The first result reports whether the timestamp
+// is anchored at Now(); the second is the constant offset (negated for
+// subtraction), nil for a bare Now().
+func sendOffset(info *types.Info, at ast.Expr) (bool, constant.Value) {
+	if isNowCall(info, at) {
+		return true, nil
+	}
+	bin, ok := at.(*ast.BinaryExpr)
+	if !ok {
+		return false, nil
+	}
+	switch bin.Op {
+	case token.ADD:
+		if isNowCall(info, bin.X) {
+			if c := constValue(info, bin.Y); c != nil {
+				return true, c
+			}
+		}
+		if isNowCall(info, bin.Y) {
+			if c := constValue(info, bin.X); c != nil {
+				return true, c
+			}
+		}
+	case token.SUB:
+		if isNowCall(info, bin.X) {
+			if c := constValue(info, bin.Y); c != nil {
+				return true, constant.UnaryOp(token.SUB, c, 0)
+			}
+		}
+	}
+	return false, nil
+}
+
+// isNowCall matches a zero-argument method call named Now — the
+// scheduler clock on either engine substrate.
+func isNowCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Now" {
+		return false
+	}
+	_, isMethod := info.Selections[sel]
+	return isMethod
+}
+
+// constValue returns the expression's folded constant value, or nil.
+func constValue(info *types.Info, e ast.Expr) constant.Value {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return tv.Value
+	}
+	return nil
+}
+
+// constInt returns the expression's constant integer value.
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	v := constValue(info, e)
+	if v == nil {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}

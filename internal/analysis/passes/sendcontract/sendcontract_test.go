@@ -1,0 +1,12 @@
+package sendcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/sendcontract"
+)
+
+func TestSendContract(t *testing.T) {
+	analysistest.Run(t, "testdata", sendcontract.Analyzer, "repro/internal/sendfix")
+}

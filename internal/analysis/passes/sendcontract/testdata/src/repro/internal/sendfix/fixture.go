@@ -1,0 +1,54 @@
+// Package sendfix exercises the sendcontract analyzer against the real
+// partitioned-engine API: every violation here is one the engine would
+// only catch by panicking on the executed path.
+package sendfix
+
+import "repro/internal/simkit/par"
+
+const hopMs = 2.0
+
+// Broken wires a topology whose contract violations all fold to
+// constants, so the analyzer proves them without running anything.
+func Broken() {
+	eng := par.New(4, par.Options{Workers: 1})
+	eng.Link(0, 1, hopMs)
+	eng.Link(1, 0, 0)     // want "non-positive lookahead"
+	eng.Link(2, 2, hopMs) // want "from an LP to itself"
+
+	lp := eng.LP(0)
+	lp.Send(1, lp.Now(), func() {})       // want "Send at Now\\(\\)"
+	lp.Send(1, lp.Now()-1, func() {})     // want "offset is not positive"
+	lp.Send(1, lp.Now()+1, func() {})     // want "below the declared lookahead"
+	lp.Send(0, lp.Now()+hopMs, func() {}) // want "Send from LP 0 to itself"
+
+	eng.LP(0).Send(3, lp.Now()+hopMs, func() {}) // want "no declared Link"
+}
+
+// Wired is the shape the partitioned RAID controller actually uses:
+// data-driven links and computed timestamps are the runtime's to check,
+// so every call here must stay silent.
+func Wired(minLatencyMs float64, devs int) {
+	eng := par.New(2+devs, par.Options{Workers: 1})
+	eng.Link(0, 1, hopMs)
+	for i := 2; i < 2+devs; i++ {
+		eng.Link(0, i, minLatencyMs)
+		eng.Link(i, 0, minLatencyMs)
+	}
+	ctrl := eng.LP(0)
+	arrive := ctrl.Now() + minLatencyMs
+	ctrl.Send(1, arrive, func() {})
+	// The table is partly data-driven: the (0, 3) channel the loop
+	// declares at runtime must not be guessed undeclared, and the
+	// constant offset has no constant lookahead to compare against.
+	ctrl.Send(3, ctrl.Now()+1, func() {})
+}
+
+// Margin sends exactly at and above a constant declared lookahead —
+// the boundary the engine accepts, so the analyzer must too.
+func Margin() {
+	eng := par.New(2, par.Options{Workers: 1})
+	eng.Link(0, 1, hopMs)
+	lp := eng.LP(0)
+	lp.Send(1, lp.Now()+hopMs, func() {})
+	lp.Send(1, hopMs*3+lp.Now(), func() {})
+}

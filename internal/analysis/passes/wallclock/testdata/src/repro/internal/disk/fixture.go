@@ -1,10 +1,14 @@
-// Fixture: wall-clock access inside a simulation package. Every
-// flagged line carries a want directive; the remaining lines pin the
-// allowed patterns (durations and arithmetic on them carry no clock
-// reading).
+// Fixture: wall-clock, environment, and machine-shape access inside a
+// simulation package. Every flagged line carries a want directive; the
+// remaining lines pin the allowed patterns (durations and arithmetic
+// on them carry no clock reading).
 package disk
 
-import "time"
+import (
+	"os"
+	"runtime"
+	"time"
+)
 
 // SimulatedTick is allowed: a duration constant reads no clock.
 const SimulatedTick = 5 * time.Millisecond
@@ -22,7 +26,25 @@ func bad() {
 	_ = f
 }
 
+func badHost() int {
+	_ = os.Getenv("IDP_DEBUG")       // want `os\.Getenv`
+	_, _ = os.LookupEnv("IDP_TRACE") // want `os\.LookupEnv`
+	_ = os.Environ()                 // want `os\.Environ`
+	n := runtime.NumCPU()            // want `runtime\.NumCPU`
+	return n + runtime.GOMAXPROCS(0) // want `runtime\.GOMAXPROCS`
+}
+
 func allowed(ms float64) time.Duration {
 	d := time.Duration(ms * float64(time.Millisecond))
 	return d.Round(time.Microsecond)
+}
+
+// allowedOS: file I/O through os is not an environment read; only the
+// env and machine-shape entry points are host state.
+func allowedOS(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }

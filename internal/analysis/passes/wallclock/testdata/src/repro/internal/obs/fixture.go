@@ -1,11 +1,23 @@
 // Fixture: the same calls are allowed in internal/obs — the
-// orchestration shell may timestamp profiles and logs; only simulation
-// packages are confined to simulated time.
+// orchestration shell may timestamp profiles, read the environment,
+// and size worker pools by core count; only simulation packages are
+// confined to simulated time and injected configuration.
 package obs
 
-import "time"
+import (
+	"os"
+	"runtime"
+	"time"
+)
 
 func stamp() time.Time {
 	time.Sleep(time.Millisecond)
 	return time.Now()
+}
+
+func shellConfig() (string, int) {
+	if v, ok := os.LookupEnv("IDP_OUT"); ok {
+		return v, runtime.NumCPU()
+	}
+	return os.Getenv("HOME"), runtime.GOMAXPROCS(0)
 }

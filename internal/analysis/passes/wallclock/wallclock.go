@@ -1,8 +1,10 @@
-// Package wallclock flags wall-clock time access in simulation
-// packages. Inside the simulator the only time that exists is the
-// event engine's simulated clock; a single time.Now() leaking into a
+// Package wallclock flags host-state reads in simulation packages:
+// wall-clock time, environment variables, and machine shape. Inside
+// the simulator the only time that exists is the event engine's
+// simulated clock, and the only configuration is the injected Config;
+// a single time.Now(), os.Getenv, or runtime.NumCPU leaking into a
 // model breaks byte-identical replay, because results then depend on
-// host speed and scheduling rather than on the seed.
+// host speed, shell state, or core count rather than on the seed.
 package wallclock
 
 import (
@@ -12,25 +14,48 @@ import (
 	"repro/internal/analysis"
 )
 
-// banned lists the time package's wall-clock entry points. Pure
+// banned lists host-state entry points per package. For "time", pure
 // conversions and constants (time.Duration, time.Millisecond, ...) are
-// fine: they carry no clock reading.
-var banned = map[string]bool{
-	"Now":       true,
-	"Since":     true,
-	"Until":     true,
-	"Sleep":     true,
-	"Tick":      true,
-	"After":     true,
-	"AfterFunc": true,
-	"NewTimer":  true,
-	"NewTicker": true,
+// fine: they carry no clock reading. For "os", only the environment
+// readers are banned here — file I/O has its own story. For "runtime",
+// the machine-shape reads: NumCPU and GOMAXPROCS (even as a pure read,
+// GOMAXPROCS(0) differs across hosts and GOMAXPROCS settings).
+var banned = map[string]map[string]bool{
+	"time": {
+		"Now":       true,
+		"Since":     true,
+		"Until":     true,
+		"Sleep":     true,
+		"Tick":      true,
+		"After":     true,
+		"AfterFunc": true,
+		"NewTimer":  true,
+		"NewTicker": true,
+	},
+	"os": {
+		"Getenv":    true,
+		"LookupEnv": true,
+		"Environ":   true,
+	},
+	"runtime": {
+		"NumCPU":     true,
+		"GOMAXPROCS": true,
+	},
+}
+
+// why gives each banned package its own consequence, so the diagnostic
+// says what actually breaks.
+var why = map[string]string{
+	"time":    "models must take time from the simulation engine, never the wall clock",
+	"os":      "environment reads make results depend on shell state; plumb settings through Config",
+	"runtime": "machine-shape reads make results depend on the host; plumb worker counts through Config",
 }
 
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
-	Doc: "forbid wall-clock time (time.Now, time.Sleep, timers) in simulation packages; " +
-		"only the engine's simulated clock may flow through models",
+	Doc: "forbid host-state reads in simulation packages — wall-clock time (time.Now, timers), " +
+		"environment variables (os.Getenv), and machine shape (runtime.NumCPU, GOMAXPROCS); " +
+		"only the engine's simulated clock and the injected Config may flow through models",
 	Run: run,
 }
 
@@ -40,7 +65,7 @@ func run(pass *analysis.Pass) error {
 	}
 	pass.Inspect(func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
-		if !ok || !banned[sel.Sel.Name] {
+		if !ok {
 			return true
 		}
 		ident, ok := sel.X.(*ast.Ident)
@@ -48,11 +73,15 @@ func run(pass *analysis.Pass) error {
 			return true
 		}
 		pkg, ok := pass.Pkg.TypesInfo.Uses[ident].(*types.PkgName)
-		if !ok || pkg.Imported().Path() != "time" {
+		if !ok {
 			return true
 		}
-		pass.Reportf(sel.Pos(), "time.%s in simulation package %s: models must take time from the simulation engine, never the wall clock",
-			sel.Sel.Name, pass.Pkg.Path)
+		path := pkg.Imported().Path()
+		if !banned[path][sel.Sel.Name] {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "%s.%s in simulation package %s: %s",
+			path, sel.Sel.Name, pass.Pkg.Path, why[path])
 		return true
 	})
 	return nil

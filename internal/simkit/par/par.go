@@ -182,6 +182,7 @@ func New(n int, opt Options) *Engine {
 	}
 	w := opt.Workers
 	if w <= 0 {
+		//idplint:allow wallclock worker count only sets execution parallelism; the window protocol is byte-identical at any worker count (cross-checked in par_test)
 		w = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
