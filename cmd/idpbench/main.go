@@ -7,6 +7,13 @@
 //	idpbench [-exp all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|degradation|lpraid|table9a|fig9b]
 //	         [-requests N] [-seed S] [-workload NAME] [-parallel N] [-lpparallel] [-quiet]
 //	         [-trace out.jsonl] [-metrics] [-pprof out.pb.gz]
+//	idpbench -exp calibration -calibrate fin.spc,srv.msr
+//
+// The calibration experiment is the only one needing external input —
+// real trace files (native, SPC CSV, MSR CSV, or blkparse text; format
+// auto-detected) — so it is not part of -exp all: each named trace is
+// ingested, a synthetic workload is fitted to its streaming profile,
+// and both replay through the same HC-SD, reporting the divergence.
 //
 // Independent simulations fan out across -parallel workers (default: all
 // cores) through internal/fleet; every table is buffered per section and
@@ -39,6 +46,7 @@ import (
 	"io"
 	"os"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/cost"
 	"repro/internal/experiments"
@@ -49,7 +57,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, degradation, lpraid, ablations, altpower, workloads, table9a, fig9b)")
+		exp      = flag.String("exp", "all", "experiment to run (all, table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, degradation, lpraid, ablations, altpower, workloads, table9a, fig9b, calibration)")
+		calib    = flag.String("calibrate", "", "comma-separated real trace files for -exp calibration")
 		requests = flag.Int("requests", experiments.DefaultConfig().Requests, "requests per workload replay")
 		seed     = flag.Int64("seed", experiments.DefaultConfig().Seed, "workload synthesis seed")
 		wl       = flag.String("workload", "", "restrict trace experiments to one workload (Financial, Websearch, TPC-C, TPC-H)")
@@ -113,7 +122,15 @@ func main() {
 	if !*quiet {
 		progress = fleet.WriterProgress(os.Stderr)
 	}
-	if err := run(os.Stdout, *exp, cfg, workloads, progress, sink); err != nil {
+	var calibrate []string
+	if *calib != "" {
+		for _, p := range strings.Split(*calib, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				calibrate = append(calibrate, p)
+			}
+		}
+	}
+	if err := run(os.Stdout, *exp, cfg, workloads, calibrate, progress, sink); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -190,8 +207,17 @@ func writeSnapshots(buf *bytes.Buffer, runs ...experiments.Run) {
 	}
 }
 
+// writeSnapshotsOut is writeSnapshots for unbuffered sections.
+func writeSnapshotsOut(out io.Writer, runs ...experiments.Run) {
+	for _, r := range runs {
+		if r.Snap != nil {
+			obs.WriteText(out, *r.Snap)
+		}
+	}
+}
+
 func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.WorkloadSpec,
-	progress func(int, int, string), sink obs.Sink) error {
+	calibrate []string, progress func(int, int, string), sink obs.Sink) error {
 	all := exp == "all"
 	ran := false
 
@@ -492,6 +518,29 @@ func run(out io.Writer, exp string, cfg experiments.Config, workloads []trace.Wo
 				c.Label, r.Low, r.High, r.Mid(), 100*(r.Mid()-base)/base)
 		}
 		fmt.Fprintln(out)
+	}
+
+	// Calibration is opt-in only (never part of "all"): it needs real
+	// trace files the repository cannot ship at full size.
+	if exp == "calibration" {
+		ran = true
+		if len(calibrate) == 0 {
+			return fmt.Errorf("-exp calibration requires -calibrate file1[,file2,...]")
+		}
+		for _, p := range calibrate {
+			res, err := experiments.CalibrationStudy(p, cfg)
+			if err != nil {
+				return err
+			}
+			experiments.WriteCalibrationTable(out, res)
+			fmt.Fprintln(out)
+			writeSnapshotsOut(out, res.RealRun, res.SynthRun)
+			if sink != nil {
+				for _, ev := range collect(nil, res.RealRun, res.SynthRun) {
+					sink.Emit(ev)
+				}
+			}
+		}
 	}
 
 	if !ran {

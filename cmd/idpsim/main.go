@@ -67,7 +67,8 @@ import (
 func main() {
 	var (
 		wl       = flag.String("workload", "Websearch", "workload name (Financial, Websearch, TPC-C, TPC-H)")
-		replay   = flag.String("replay", "", "replay a trace file instead of synthesizing a workload")
+		replay   = flag.String("replay", "", "replay a trace file (native, SPC CSV, MSR CSV, or blkparse text; format auto-detected) instead of synthesizing a workload")
+		reorder  = flag.Int("reorder", 0, "with -replay: tolerate arrivals out of order by up to N requests (bounded reorder buffer)")
 		system   = flag.String("system", "hcsd", "storage system: md, hcsd, saN (e.g. sa4), or raidN (e.g. raid64)")
 		requests = flag.Int("requests", 100000, "requests to synthesize")
 		seed     = flag.Int64("seed", 1, "workload synthesis seed")
@@ -94,13 +95,13 @@ func main() {
 			f.Close()
 		}()
 	}
-	if err := run(*wl, *replay, *system, *requests, *seed, *rpm, *traceOut, *metrics, *degraded, *lppar); err != nil {
+	if err := run(*wl, *replay, *system, *requests, *reorder, *seed, *rpm, *traceOut, *metrics, *degraded, *lppar); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, replayFile, system string, requests int, seed int64, rpm float64, traceOut string, metrics, degraded, lppar bool) error {
+func run(wl, replayFile, system string, requests, reorder int, seed int64, rpm float64, traceOut string, metrics, degraded, lppar bool) error {
 	// Unsupported flag combinations fail with one-line errors up front,
 	// before any simulation state exists.
 	if replayFile != "" && strings.HasPrefix(system, "raid") {
@@ -109,25 +110,35 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 	if degraded && !strings.HasPrefix(system, "raid") {
 		return fmt.Errorf("-degraded requires -system raidN, got -system %s", system)
 	}
+	if reorder != 0 && replayFile == "" {
+		return fmt.Errorf("-reorder only applies with -replay")
+	}
+	if reorder < 0 {
+		return fmt.Errorf("-reorder must be >= 0, got %d", reorder)
+	}
 	spec, err := trace.WorkloadByName(wl)
 	if err != nil {
 		return err
 	}
 
-	var tr trace.Trace
+	// The workload streams through the simulation — a foreign trace
+	// ingests line by line (format sniffed by trace.OpenFile) and a
+	// synthesized workload generates on demand, so neither is ever
+	// materialized.
+	var src trace.Stream
 	if replayFile != "" {
-		f, err := os.Open(replayFile)
+		rd, err := trace.OpenFile(replayFile, trace.ReaderOpts{ReorderWindow: reorder})
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if tr, err = trace.Read(f); err != nil {
-			return err
-		}
+		defer rd.Close()
+		src = rd
 	} else {
-		if tr, err = trace.Generate(spec.WithRequests(requests), seed); err != nil {
+		g, err := trace.NewGenerator(spec.WithRequests(requests), seed)
+		if err != nil {
 			return err
 		}
+		src = g
 	}
 
 	var sink obs.Sink
@@ -162,7 +173,9 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 		if err != nil {
 			return err
 		}
-		resp = experiments.Replay(eng, md.Router, tr)
+		if resp, err = experiments.ReplayStream(eng, md.Router, src); err != nil {
+			return err
+		}
 		powerOf = func(e float64) string {
 			return experiments.WriteBreakdownBar(md.Router.Power(e))
 		}
@@ -175,10 +188,13 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 		if err != nil {
 			return err
 		}
-		if tr, err = experiments.HCSDTrace(spec, tr); err != nil {
+		s, err := hcsdRemap(spec, src)
+		if err != nil {
 			return err
 		}
-		resp = experiments.Replay(eng, d, tr)
+		if resp, err = experiments.ReplayStream(eng, d, s); err != nil {
+			return err
+		}
 		powerOf = func(e float64) string { return experiments.WriteBreakdownBar(d.Power(e)) }
 		label = model.Name
 		instrumented = d
@@ -196,10 +212,13 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 		if err != nil {
 			return err
 		}
-		if tr, err = experiments.HCSDTrace(spec, tr); err != nil {
+		s, err := hcsdRemap(spec, src)
+		if err != nil {
 			return err
 		}
-		resp = experiments.Replay(eng, d, tr)
+		if resp, err = experiments.ReplayStream(eng, d, s); err != nil {
+			return err
+		}
 		powerOf = func(e float64) string { return experiments.WriteBreakdownBar(d.Power(e)) }
 		label = fmt.Sprintf("HC-SD-SA(%d) on %s", n, model.Name)
 		instrumented = d
@@ -270,11 +289,14 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 			in.Schedule()
 			inj = in
 		}
-		if tr, err = experiments.HCSDTrace(spec, tr); err != nil {
+		s, err := hcsdRemap(spec, src)
+		if err != nil {
 			return err
 		}
 		eng = pe.Runner(0)
-		resp = experiments.Replay(eng, arr, tr)
+		if resp, err = experiments.ReplayStream(eng, arr, s); err != nil {
+			return err
+		}
 		powerOf = func(e float64) string { return experiments.WriteBreakdownBar(arr.Power(e)) }
 		label = fmt.Sprintf("%s x%d %s (partitioned: %d LPs, %d sync windows)",
 			level, n, model.Name, pe.NumLPs(), pe.Windows())
@@ -306,6 +328,16 @@ func run(wl, replayFile, system string, requests int, seed int64, rpm float64, t
 		obs.WriteText(os.Stdout, snap)
 	}
 	return nil
+}
+
+// hcsdRemap layers the MD→HC-SD address migration onto the workload
+// stream (the streaming form of experiments.HCSDTrace).
+func hcsdRemap(spec trace.WorkloadSpec, s trace.Stream) (trace.Stream, error) {
+	offsets, err := experiments.HCSDOffsets(spec)
+	if err != nil {
+		return nil, err
+	}
+	return trace.RemapStream(s, offsets), nil
 }
 
 func hcsdModel(rpm float64) disk.Model {

@@ -1,10 +1,14 @@
 // Command tracegen synthesizes workload traces in the repository's text
-// trace format and writes them to stdout or a file.
+// trace format and writes them to stdout or a file. With -convert it
+// instead ingests an existing trace in any supported format (SPC CSV,
+// MSR CSV, blkparse text, or native — auto-detected) and re-emits it in
+// the native format, streaming line by line.
 //
 // Usage:
 //
 //	tracegen -workload Financial -requests 100000 -seed 1 > fin.trc
 //	tracegen -synthetic 4ms -capacity 1465000000 -requests 100000
+//	tracegen -convert websearch.spc -o websearch.trc
 package main
 
 import (
@@ -21,21 +25,58 @@ func main() {
 	var (
 		wl        = flag.String("workload", "", "commercial workload name (Financial, Websearch, TPC-C, TPC-H)")
 		synthetic = flag.String("synthetic", "", "synthetic intensity: 8ms, 4ms, or 1ms (§7.3 workloads)")
+		convert   = flag.String("convert", "", "ingest this trace file (format auto-detected) and emit it in the native format")
 		capacity  = flag.Int64("capacity", 1465000000, "logical capacity in sectors for synthetic streams")
 		requests  = flag.Int("requests", 100000, "number of requests")
+		reorder   = flag.Int("reorder", 0, "with -convert: tolerate arrivals out of order by up to N requests")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		out       = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*wl, *synthetic, *capacity, *requests, *seed, *out); err != nil {
+	if err := run(*wl, *synthetic, *convert, *capacity, *requests, *reorder, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, synthetic string, capacity int64, requests int, seed int64, out string) error {
-	if (wl == "") == (synthetic == "") {
-		return fmt.Errorf("specify exactly one of -workload or -synthetic")
+func run(wl, synthetic, convert string, capacity int64, requests, reorder int, seed int64, out string) error {
+	modes := 0
+	for _, m := range []string{wl, synthetic, convert} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("specify exactly one of -workload, -synthetic, or -convert")
+	}
+	if reorder != 0 && convert == "" {
+		return fmt.Errorf("-reorder only applies with -convert")
+	}
+	if reorder < 0 {
+		return fmt.Errorf("-reorder must be >= 0, got %d", reorder)
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	// Conversion streams reader-to-writer: neither the source nor the
+	// native output is ever materialized, and no comment header is
+	// emitted — the output is a pure function of the input's requests.
+	if convert != "" {
+		rd, err := trace.OpenFile(convert, trace.ReaderOpts{ReorderWindow: reorder})
+		if err != nil {
+			return err
+		}
+		defer rd.Close()
+		_, err = trace.WriteStream(w, rd)
+		return err
 	}
 
 	var tr trace.Trace
@@ -68,16 +109,6 @@ func run(wl, synthetic string, capacity int64, requests int, seed int64, out str
 	}
 	if err != nil {
 		return err
-	}
-
-	var w io.Writer = os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
 	}
 	if _, err := io.WriteString(w, comment); err != nil {
 		return err

@@ -36,7 +36,10 @@ func runHCSD(label string, s trace.Stream, model disk.Model, opts disk.Options) 
 	if err != nil {
 		return nil, err
 	}
-	resp := ReplayStream(eng, d, s)
+	resp, err := ReplayStream(eng, d, s)
+	if err != nil {
+		return nil, err
+	}
 	return &Run{
 		Label:     label,
 		Resp:      resp,
@@ -160,7 +163,10 @@ func runSA(label string, in trace.Stream, ccfg core.Config) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp := ReplayStream(eng, d, in)
+	resp, err := ReplayStream(eng, d, in)
+	if err != nil {
+		return nil, err
+	}
 	return &Run{
 		Label:     label,
 		Resp:      resp,

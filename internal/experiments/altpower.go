@@ -51,7 +51,10 @@ func AltPower(spec trace.WorkloadSpec, cfg Config) (*AltPowerResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp := ReplayStream(eng, dd, ds)
+	resp, err := ReplayStream(eng, dd, ds)
+	if err != nil {
+		return nil, err
+	}
 	out.DRPM = Run{
 		Label:     "DRPM",
 		Resp:      resp,

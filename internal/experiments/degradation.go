@@ -197,7 +197,10 @@ func RunDegradationStudy(spec trace.WorkloadSpec, cfg Config, depths []int) (*De
 			if err != nil {
 				return DegradationRun{}, err
 			}
-			resp := ReplayStream(eng, d, s)
+			resp, err := ReplayStream(eng, d, s)
+			if err != nil {
+				return DegradationRun{}, err
+			}
 			r := degradationRun("healthy", d, resp, eng, sink, nil, cfg.Observe)
 			r.HealthyArms, r.TotalArms = d.HealthyArms(), degradationArms
 			return r, nil
@@ -244,7 +247,10 @@ func RunDegradationStudy(spec trace.WorkloadSpec, cfg Config, depths []int) (*De
 			if err != nil {
 				return DegradationRun{}, err
 			}
-			resp := ReplayStream(eng, d, s)
+			resp, err := ReplayStream(eng, d, s)
+			if err != nil {
+				return DegradationRun{}, err
+			}
 			r := degradationRun("smart-deconfig", d, resp, eng, sink, inj, cfg.Observe)
 			r.HealthyArms, r.TotalArms = d.HealthyArms(), degradationArms
 			return r, nil
@@ -275,7 +281,10 @@ func RunDegradationStudy(spec trace.WorkloadSpec, cfg Config, depths []int) (*De
 			if err != nil {
 				return DegradationRun{}, err
 			}
-			resp := ReplayStream(eng, d, s)
+			resp, err := ReplayStream(eng, d, s)
+			if err != nil {
+				return DegradationRun{}, err
+			}
 			r := degradationRun("arm-fault-x2", d, resp, eng, sink, inj, cfg.Observe)
 			r.HealthyArms, r.TotalArms = d.HealthyArms(), degradationArms
 			return r, nil
@@ -342,7 +351,10 @@ func RunDegradationStudy(spec trace.WorkloadSpec, cfg Config, depths []int) (*De
 				if err != nil {
 					return DegradationRun{}, err
 				}
-				resp := ReplayStream(eng, arr, s)
+				resp, err := ReplayStream(eng, arr, s)
+				if err != nil {
+					return DegradationRun{}, err
+				}
 				r := degradationRun(label, arr, resp, eng, sink, inj, cfg.Observe)
 				r.RebuildDepth = depth
 				r.Reallocated = dt.Reallocated()
@@ -423,7 +435,10 @@ func RunDegradationStudy(spec trace.WorkloadSpec, cfg Config, depths []int) (*De
 					return DegradationRun{}, err
 				}
 				runner := pe.Runner(0)
-				resp := ReplayStream(runner, arr, s)
+				resp, err := ReplayStream(runner, arr, s)
+				if err != nil {
+					return DegradationRun{}, err
+				}
 				r := degradationRun(label, arr, resp, runner, sink, inj, cfg.Observe)
 				r.RebuildDepth = depth
 				r.Reallocated = dt.Reallocated()

@@ -176,7 +176,7 @@ func (r *Run) ResponseCDF() []float64 { return r.Resp.ResponseCDF() }
 
 // Replay submits every request of the trace at its arrival time and runs
 // the simulation to completion, returning the response-time sample.
-func Replay(eng simkit.Runner, dev device.Device, tr trace.Trace) *stats.Sample {
+func Replay(eng simkit.Runner, dev device.Device, tr trace.Trace) (*stats.Sample, error) {
 	return ReplayStream(eng, dev, tr.Stream())
 }
 
@@ -186,12 +186,17 @@ func Replay(eng simkit.Runner, dev device.Device, tr trace.Trace) *stats.Sample 
 // scale (4-6M requests per workload) this is what keeps a parallel
 // fan-out's memory flat: jobs stream straight from a trace.Generator and
 // never materialize multi-million-entry traces or event queues.
-func ReplayStream(eng simkit.Runner, dev device.Device, s trace.Stream) *stats.Sample {
+//
+// A stream that terminates with an error (an ingestion parse failure,
+// an unroutable remap — see trace.Err) stops chaining arrivals; the
+// simulation drains what was already submitted and the error is
+// returned alongside the partial sample.
+func ReplayStream(eng simkit.Runner, dev device.Device, s trace.Stream) (*stats.Sample, error) {
 	resp := &stats.Sample{}
 	cur, ok := s.Next()
 	if !ok {
 		eng.Run()
-		return resp
+		return resp, trace.Err(s)
 	}
 	var fire simkit.Event
 	fire = func() {
@@ -207,7 +212,7 @@ func ReplayStream(eng simkit.Runner, dev device.Device, s trace.Stream) *stats.S
 	}
 	eng.At(cur.ArrivalMs, fire)
 	eng.Run()
-	return resp
+	return resp, trace.Err(s)
 }
 
 // MDDriveModel returns the member-drive model of a workload's original
@@ -353,7 +358,10 @@ func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) 
 			if err != nil {
 				return Run{}, err
 			}
-			resp := ReplayStream(eng, md.Router, g)
+			resp, err := ReplayStream(eng, md.Router, g)
+			if err != nil {
+				return Run{}, err
+			}
 			return Run{
 				Label:     "MD",
 				Resp:      resp,
@@ -380,7 +388,10 @@ func LimitStudy(spec trace.WorkloadSpec, cfg Config) (*LimitStudyResult, error) 
 			if err != nil {
 				return Run{}, err
 			}
-			resp := ReplayStream(eng, hc, s)
+			resp, err := ReplayStream(eng, hc, s)
+			if err != nil {
+				return Run{}, err
+			}
 			return Run{
 				Label:     "HC-SD",
 				Resp:      resp,
@@ -456,7 +467,10 @@ func Bottleneck(spec trace.WorkloadSpec, cfg Config) (*BottleneckResult, error) 
 				if err != nil {
 					return Run{}, err
 				}
-				resp := ReplayStream(eng, d, s)
+				resp, err := ReplayStream(eng, d, s)
+				if err != nil {
+					return Run{}, err
+				}
 				return Run{
 					Label:     sc.Label,
 					Resp:      resp,
@@ -510,7 +524,10 @@ func saRunOnStream(s trace.Stream, actuators int, rpm float64, cfg Config) (*Run
 	if err != nil {
 		return nil, err
 	}
-	resp := ReplayStream(eng, d, s)
+	resp, err := ReplayStream(eng, d, s)
+	if err != nil {
+		return nil, err
+	}
 	return &Run{
 		Label:     label,
 		Resp:      resp,

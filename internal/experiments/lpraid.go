@@ -190,7 +190,10 @@ func LPRAID(cfg Config, opts LPRAIDOpts) (*LPRAIDResult, error) {
 	}
 
 	runner := pe.Runner(0)
-	resp := ReplayStream(runner, arr, g)
+	resp, err := ReplayStream(runner, arr, g)
+	if err != nil {
+		return nil, err
+	}
 	elapsed := runner.Now()
 	res := &LPRAIDResult{
 		Drives:    opts.Drives,

@@ -169,7 +169,10 @@ func RunRAIDStudy(cfg Config, opts RAIDStudyOpts) (*RAIDStudyResult, error) {
 						if err != nil {
 							return RAIDPoint{}, err
 						}
-						resp := ReplayStream(eng, arr, g)
+						resp, err := ReplayStream(eng, arr, g)
+						if err != nil {
+							return RAIDPoint{}, err
+						}
 						return RAIDPoint{
 							Intensity: in,
 							Actuators: fam,

@@ -286,7 +286,7 @@ func replayStreamCtx(ctx context.Context, eng simkit.Runner, dev device.Device, 
 	cur, ok := s.Next()
 	if !ok {
 		eng.Run()
-		return resp, nil
+		return resp, trace.Err(s)
 	}
 	scheduled := 0
 	var cancelErr error
@@ -313,6 +313,9 @@ func replayStreamCtx(ctx context.Context, eng simkit.Runner, dev device.Device, 
 	eng.Run()
 	if cancelErr != nil {
 		return nil, cancelErr
+	}
+	if err := trace.Err(s); err != nil {
+		return nil, err
 	}
 	return resp, nil
 }

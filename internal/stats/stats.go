@@ -202,6 +202,58 @@ func (sm Summary) String() string {
 		sm.Count, sm.Mean, sm.P50, sm.P90, sm.P99, sm.Max, sm.StdDev)
 }
 
+// KolmogorovDistance reports the two-sample Kolmogorov–Smirnov
+// statistic sup |F_a(x) - F_b(x)|: the largest gap between the two
+// samples' empirical CDFs, in [0, 1]. It is the calibration study's
+// distribution-distance metric — 0 means the response-time
+// distributions coincide at every observed point. Either sample being
+// empty yields 1 (unless both are, which yields 0).
+func KolmogorovDistance(a, b *Sample) float64 {
+	na, nb := len(a.xs), len(b.xs)
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	a.ensureSorted()
+	b.ensureSorted()
+	var d float64
+	i, j := 0, 0
+	for i < na && j < nb {
+		// Advance past ties so both CDFs are evaluated after all mass
+		// at the current point.
+		x := a.xs[i]
+		if b.xs[j] < x {
+			x = b.xs[j]
+		}
+		for i < na && a.xs[i] == x {
+			i++
+		}
+		for j < nb && b.xs[j] == x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(na) - float64(j)/float64(nb))
+		if diff > d {
+			d = diff
+		}
+	}
+	// The tail past the shorter sample's maximum: one CDF is already 1.
+	if i < na {
+		diff := 1 - float64(i)/float64(na)
+		if diff > d {
+			d = diff
+		}
+	}
+	if j < nb {
+		diff := 1 - float64(j)/float64(nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
 // FormatCDFRow renders a CDF as the paper's figures tabulate it:
 // one "<=edge:frac" pair per bucket plus the overflow bucket.
 func FormatCDFRow(edges, cdf []float64) string {

@@ -3,7 +3,6 @@ package trace
 import (
 	"fmt"
 	"io"
-	"math"
 	"sort"
 )
 
@@ -25,63 +24,10 @@ type Stats struct {
 	FootprintSectors   int64   // highest block touched (per-disk max)
 }
 
-// Analyze computes Stats over a trace.
+// Analyze computes Stats over a trace. It is AnalyzeStream over the
+// materialized trace's stream, so the two always agree exactly.
 func Analyze(t Trace) Stats {
-	var s Stats
-	s.Requests = len(t)
-	if len(t) == 0 {
-		return s
-	}
-	s.Disks = t.MaxDisk() + 1
-	s.DurationMs = t.DurationMs()
-	s.MeanInterArrivalMs = t.MeanInterArrivalMs()
-	s.ReadFraction = t.ReadFraction()
-
-	// Inter-arrival variability.
-	if len(t) > 2 && s.MeanInterArrivalMs > 0 {
-		var ss float64
-		prev := t[0].ArrivalMs
-		for _, r := range t[1:] {
-			d := r.ArrivalMs - prev - s.MeanInterArrivalMs
-			ss += d * d
-			prev = r.ArrivalMs
-		}
-		variance := ss / float64(len(t)-1)
-		s.CV2InterArrival = variance / (s.MeanInterArrivalMs * s.MeanInterArrivalMs)
-	}
-
-	// Sizes, sequentiality, footprint, per-disk load.
-	lastEnd := make(map[int]int64, s.Disks)
-	perDisk := make(map[int]int, s.Disks)
-	var sizeSum int64
-	seq := 0
-	for _, r := range t {
-		sizeSum += int64(r.Sectors)
-		if r.Sectors > s.MaxSizeSectors {
-			s.MaxSizeSectors = r.Sectors
-		}
-		if e, ok := lastEnd[r.Disk]; ok && e == r.LBA {
-			seq++
-		}
-		lastEnd[r.Disk] = r.End()
-		perDisk[r.Disk]++
-		if r.End() > s.FootprintSectors {
-			s.FootprintSectors = r.End()
-		}
-	}
-	s.MeanSizeSectors = float64(sizeSum) / float64(len(t))
-	s.SeqFraction = float64(seq) / float64(len(t))
-
-	if s.Disks > 1 {
-		mean := float64(len(t)) / float64(s.Disks)
-		var ss float64
-		for d := 0; d < s.Disks; d++ {
-			diff := float64(perDisk[d]) - mean
-			ss += diff * diff
-		}
-		sd := ss / float64(s.Disks)
-		s.DiskLoadCV = math.Sqrt(sd) / mean
-	}
+	s, _ := AnalyzeStream(t.Stream()) // slice streams cannot fail
 	return s
 }
 

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// spcParser reads SPC-1-style CSV, the format of the UMass Trace
+// Repository's Financial and WebSearch traces:
+//
+//	ASU,LBA,Size,Opcode,Timestamp[,extras...]
+//
+// ASU is the application storage unit (mapped to Request.Disk), LBA is
+// already in 512-byte sectors, Size is in bytes, Opcode is r/R or w/W,
+// and Timestamp is in seconds from an arbitrary origin (the Reader
+// rebases it to zero). Extra trailing columns are ignored.
+type spcParser struct{}
+
+func (spcParser) format() Format { return FormatSPC }
+
+func (spcParser) parse(line string) (Request, bool, error) {
+	var f [5]string
+	n := splitDelim(line, ',', f[:])
+	if n < 5 {
+		return Request{}, false, fmt.Errorf("want 5 comma-separated fields (ASU,LBA,size,opcode,timestamp), got %d", n)
+	}
+	if strings.EqualFold(f[0], "asu") {
+		return Request{}, true, nil // header row
+	}
+	asu, err := strconv.Atoi(f[0])
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad ASU %q", f[0])
+	}
+	lba, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad LBA %q", f[1])
+	}
+	size, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil || size <= 0 {
+		return Request{}, false, fmt.Errorf("bad size %q (want bytes > 0)", f[2])
+	}
+	var read bool
+	switch f[3] {
+	case "r", "R":
+		read = true
+	case "w", "W":
+		read = false
+	default:
+		return Request{}, false, fmt.Errorf("bad opcode %q (want r or w)", f[3])
+	}
+	ts, err := strconv.ParseFloat(f[4], 64)
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad timestamp %q", f[4])
+	}
+	return Request{
+		ArrivalMs: ts * 1000, // seconds -> ms
+		Disk:      asu,
+		LBA:       lba,
+		Sectors:   int((size + 511) / 512),
+		Read:      read,
+	}, false, nil
+}

@@ -32,31 +32,64 @@ func (s *sliceStream) Next() (Request, bool) {
 // Stream returns a one-pass Stream over the materialized trace.
 func (t Trace) Stream() Stream { return &sliceStream{t: t} }
 
+// Err reports the terminal error of a stream, if it has one. Streams
+// backed by parsers or validators (Reader, remapStream) expose an
+// Err() method that is non-nil after Next returned false because of a
+// failure rather than exhaustion; plain streams (slices, generators)
+// cannot fail and report nil. Every consumer that drains a stream of
+// unvetted origin must check Err afterwards.
+func Err(s Stream) error {
+	if es, ok := s.(interface{ Err() error }); ok {
+		return es.Err()
+	}
+	return nil
+}
+
 // remapStream applies the Remap address migration on the fly.
 type remapStream struct {
 	s       Stream
 	offsets []int64
+	n       int
+	err     error
+	done    bool
 }
 
 func (s *remapStream) Next() (Request, bool) {
+	if s.done {
+		return Request{}, false
+	}
 	r, ok := s.s.Next()
 	if !ok {
+		s.done = true
 		return Request{}, false
 	}
 	if r.Disk >= len(s.offsets) {
-		panic(fmt.Sprintf("trace: request targets disk %d but only %d offsets given",
-			r.Disk, len(s.offsets)))
+		s.err = fmt.Errorf("trace: request %d targets disk %d but only %d offsets given",
+			s.n, r.Disk, len(s.offsets))
+		s.done = true
+		return Request{}, false
 	}
+	s.n++
 	r.LBA += s.offsets[r.Disk]
 	r.Disk = 0
 	return r, true
 }
 
+// Err reports why the stream terminated early: an unroutable request,
+// or the inner stream's own failure.
+func (s *remapStream) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	return Err(s.s)
+}
+
 // RemapStream retargets every request of s to a single disk (disk 0) at
 // LBA offset[r.Disk]+r.LBA — the streaming form of Trace.Remap,
 // implementing the paper's MD→HC-SD migration layout. A request
-// targeting a disk beyond the offset table panics: streams are consumed
-// inside simulations, where an unroutable request is a simulator bug.
+// targeting a disk beyond the offset table ends the stream with an
+// error (see Err) — foreign traces reach this boundary, so it must not
+// crash the process.
 func RemapStream(s Stream, offsets []int64) Stream {
 	return &remapStream{s: s, offsets: offsets}
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -81,16 +82,50 @@ func TestRemapStreamMatchesRemap(t *testing.T) {
 	}
 }
 
-// TestRemapStreamPanicsOnUnroutableDisk mirrors Trace.Remap's error on a
-// request beyond the offset table.
-func TestRemapStreamPanicsOnUnroutableDisk(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("RemapStream accepted a request beyond the offset table")
-		}
-	}()
-	s := RemapStream(Trace{{Disk: 3, Sectors: 1}}.Stream(), []int64{0, 100})
-	s.Next()
+// TestRemapStreamErrorsOnUnroutableDisk mirrors Trace.Remap's error on
+// a request beyond the offset table: the stream must end with an error
+// rather than panic — foreign traces reach this boundary. Regression
+// test for the ingestion-hardening fix.
+func TestRemapStreamErrorsOnUnroutableDisk(t *testing.T) {
+	s := RemapStream(Trace{
+		{ArrivalMs: 0, Disk: 1, LBA: 5, Sectors: 1},
+		{ArrivalMs: 1, Disk: 3, LBA: 0, Sectors: 1},
+		{ArrivalMs: 2, Disk: 0, LBA: 0, Sectors: 1},
+	}.Stream(), []int64{0, 100})
+	r, ok := s.Next()
+	if !ok || r.LBA != 105 || r.Disk != 0 {
+		t.Fatalf("first request = %+v, %v; want remapped LBA 105 on disk 0", r, ok)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("RemapStream accepted a request beyond the offset table")
+	}
+	err := Err(s)
+	if err == nil {
+		t.Fatal("Err = nil after unroutable request")
+	}
+	if !strings.Contains(err.Error(), "disk 3") || !strings.Contains(err.Error(), "2 offsets") {
+		t.Fatalf("Err = %v; want it to name disk 3 and the 2-entry offset table", err)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream yielded requests after its terminal error")
+	}
+}
+
+// TestRemapStreamPropagatesInnerError checks that Err surfaces the
+// wrapped stream's own failure through the remap layer.
+func TestRemapStreamPropagatesInnerError(t *testing.T) {
+	rd := NewNativeReader(strings.NewReader("0.0 0 0 8 R\nbogus line\n"), ReaderOpts{})
+	s := RemapStream(rd, []int64{0})
+	if _, ok := s.Next(); !ok {
+		t.Fatal("first request rejected")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("malformed line yielded a request")
+	}
+	err := Err(s)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("Err = %v; want the reader's line-2 parse error", err)
+	}
 }
 
 // BenchmarkGeneratorStream measures per-request streaming synthesis —

@@ -6,12 +6,10 @@
 package trace
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
-	"strings"
 )
 
 // Request is one I/O request presented to a storage system.
@@ -119,69 +117,67 @@ func (t Trace) Remap(offsets []int64) (Trace, error) {
 //	# optional comments
 //	<arrival-ms> <disk> <lba> <sectors> <R|W>
 func Write(w io.Writer, t Trace) error {
-	bw := bufio.NewWriter(w)
-	for _, r := range t {
-		op := "W"
-		if r.Read {
-			op = "R"
-		}
-		if _, err := fmt.Fprintf(bw, "%.6f %d %d %d %s\n",
-			r.ArrivalMs, r.Disk, r.LBA, r.Sectors, op); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	_, err := WriteStream(w, t.Stream())
+	return err
 }
 
-// Read parses the text trace format. Blank lines and lines starting with
-// '#' are skipped.
+// nativeParser reads the repository's own text format, one request per
+// line: "<arrival-ms> <disk> <lba> <sectors> <R|W>". Unlike the foreign
+// formats, native arrivals are absolute simulation times and are never
+// rebased.
+type nativeParser struct{}
+
+func (nativeParser) format() Format { return FormatNative }
+
+func (nativeParser) parse(line string) (Request, bool, error) {
+	var f [6]string
+	n := splitWS(line, f[:])
+	if n != 5 {
+		return Request{}, false, fmt.Errorf("want 5 fields, got %d", n)
+	}
+	arrival, err := strconv.ParseFloat(f[0], 64)
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad arrival: %v", err)
+	}
+	disk, err := strconv.Atoi(f[1])
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad disk: %v", err)
+	}
+	lba, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad lba: %v", err)
+	}
+	sectors, err := strconv.Atoi(f[3])
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad sectors: %v", err)
+	}
+	var read bool
+	switch f[4] {
+	case "R", "r":
+		read = true
+	case "W", "w":
+		read = false
+	default:
+		return Request{}, false, fmt.Errorf("bad op %q", f[4])
+	}
+	return Request{ArrivalMs: arrival, Disk: disk, LBA: lba, Sectors: sectors, Read: read}, false, nil
+}
+
+// Read materializes a text-format trace. Blank lines and lines starting
+// with '#' are skipped. Arrivals must be non-decreasing: an unsorted
+// trace would replay with negative inter-arrivals, which both the
+// analyzer and the engine assume away.
 func Read(r io.Reader) (Trace, error) {
+	rd := NewNativeReader(r, ReaderOpts{})
 	var t Trace
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 5 {
-			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", lineNo, len(fields))
-		}
-		arrival, err := strconv.ParseFloat(fields[0], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad arrival: %v", lineNo, err)
-		}
-		disk, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad disk: %v", lineNo, err)
-		}
-		lba, err := strconv.ParseInt(fields[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad lba: %v", lineNo, err)
-		}
-		sectors, err := strconv.Atoi(fields[3])
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad sectors: %v", lineNo, err)
-		}
-		var read bool
-		switch fields[4] {
-		case "R", "r":
-			read = true
-		case "W", "w":
-			read = false
-		default:
-			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[4])
-		}
-		req := Request{ArrivalMs: arrival, Disk: disk, LBA: lba, Sectors: sectors, Read: read}
-		if err := req.Validate(); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+	for {
+		req, ok := rd.Next()
+		if !ok {
+			break
 		}
 		t = append(t, req)
 	}
-	if err := sc.Err(); err != nil {
+	if err := rd.Err(); err != nil {
 		return nil, err
 	}
 	return t, nil

@@ -80,6 +80,44 @@ func GenerateTrace(spec WorkloadSpec, seed int64) (Trace, error) {
 	return trace.Generate(spec, seed)
 }
 
+// TraceStream is a pull-based request stream; trace readers, workload
+// generators, and remapped streams all implement it.
+type TraceStream = trace.Stream
+
+// TraceFormat identifies an on-disk trace format (native, spc, msr,
+// blkparse).
+type TraceFormat = trace.Format
+
+// TraceReader is a streaming O(1)-memory trace ingester for any
+// supported on-disk format, with unit normalization and arrival-order
+// enforcement at the ingestion boundary.
+type TraceReader = trace.Reader
+
+// TraceReaderOpts tunes ingestion (e.g. the bounded reordering window
+// for near-sorted captures).
+type TraceReaderOpts = trace.ReaderOpts
+
+// OpenTrace sniffs the format of the trace on r and returns a
+// streaming reader for it; OpenTraceFile does the same for a path (the
+// caller owns Close).
+var (
+	OpenTrace     = trace.Open
+	OpenTraceFile = trace.OpenFile
+)
+
+// TraceStreamErr reports the terminal error of a stream that carries
+// one (ingestion failures); plain streams report nil.
+var TraceStreamErr = trace.Err
+
+// AnalyzeTraceStream computes a trace's statistics in one streaming
+// pass; FitWorkload inverts the synthesizer's parameterization against
+// a streamed profile (ProfileTraceStream).
+var (
+	AnalyzeTraceStream = trace.AnalyzeStream
+	ProfileTraceStream = trace.ProfileStream
+	FitWorkload        = trace.FitWorkload
+)
+
 // SyntheticSpec parameterizes the §7.3 synthetic streams.
 type SyntheticSpec = workload.Spec
 
@@ -403,3 +441,16 @@ func AttachBus(dev Device, b *Bus, sectorBytes int) (Device, error) {
 // RunClosedLoop drives a device with a closed-loop client population
 // (see experiments.ReplayClosed).
 var RunClosedLoop = experiments.ReplayClosed
+
+// CalibrationResult reports how faithfully the synthesizer reproduces a
+// real trace: statistical deltas, both replays, and the KS distance
+// between their response-time distributions.
+type CalibrationResult = experiments.CalibrationResult
+
+// RunCalibrationStudy ingests a real trace, fits synthesizer parameters
+// to its streamed profile, and replays both through the same drive;
+// WriteCalibrationTable renders the divergence table.
+var (
+	RunCalibrationStudy   = experiments.CalibrationStudy
+	WriteCalibrationTable = experiments.WriteCalibrationTable
+)
